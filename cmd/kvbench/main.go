@@ -1,0 +1,104 @@
+// Command kvbench regenerates the paper's throughput experiments:
+// Figure 1 (engine comparison, method prefill/decode sweeps), Figure 2
+// (LLaMA-70B on H800), Figure 3 (attention-layer time), Table 3 (tensor
+// parallelism), and the appendix TP figures (8-14).
+//
+// Usage:
+//
+//	kvbench -fig 1ab          # Figure 1 (a-b)
+//	kvbench -fig all          # everything
+//	kvbench -table 3          # Table 3
+//	kvbench -model mistral-7b # appendix model variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rethinkkv/internal/experiments"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to run: 1ab, 1cd, 1eh, 1il, 2, 3, tp, all")
+	table := flag.String("table", "", "table to run: 3")
+	modelName := flag.String("model", "llama-2-7b", "model shape descriptor")
+	hwName := flag.String("hw", "a6000", "hardware: a6000 or h800")
+	flag.Parse()
+
+	cfg, ok := model.ByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	hw, ok := gpu.ByName(*hwName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown hardware %q\n", *hwName)
+		os.Exit(1)
+	}
+	tc := experiments.ThroughputConfig{HW: hw, Model: cfg}
+
+	batches := []int{1, 2, 4, 8, 16}
+	prompts := []int{512, 1024, 2048, 4096, 6144, 8192}
+	kvs := []int{512, 1024, 2048, 4096, 6144, 8192}
+
+	ran := false
+	run := func(name string, fn func()) {
+		if *fig == name || *fig == "all" {
+			fn()
+			ran = true
+		}
+	}
+	run("1ab", func() {
+		fmt.Println(experiments.Fig1EngineDecode(tc, 256, batches).Format())
+		fmt.Println(experiments.Fig1EngineDecode(tc, 2048, batches).Format())
+	})
+	run("1cd", func() {
+		fmt.Println(experiments.Fig1StreamSpeedup(tc, 1024, batches).Format())
+		fmt.Println(experiments.Fig1StreamSpeedup(tc, 2048, batches).Format())
+	})
+	run("1eh", func() {
+		for _, f := range experiments.Fig1Prefill(tc, batches, prompts) {
+			fmt.Println(f.Format())
+		}
+	})
+	run("1il", func() {
+		for _, f := range experiments.Fig1Decode(tc, batches, kvs) {
+			fmt.Println(f.Format())
+		}
+	})
+	run("2", func() {
+		for _, f := range experiments.Fig2H800(prompts, kvs) {
+			fmt.Println(f.Format())
+		}
+	})
+	run("3", func() {
+		for _, f := range experiments.Fig3AttentionTime(tc, []int{1024, 2048, 3072, 4096}) {
+			fmt.Println(f.Format())
+		}
+	})
+	run("tp", func() {
+		for _, f := range experiments.AppendixTPFigures(tc, batches) {
+			fmt.Println(f.Format())
+		}
+	})
+	run("8", func() {
+		fmt.Print(experiments.FormatAll(experiments.Fig8Mistral(batches, prompts[:4])))
+	})
+	run("9", func() {
+		fmt.Print(experiments.FormatAll(experiments.Fig9SnapKV(batches, kvs[:4])))
+	})
+	run("10", func() {
+		fmt.Print(experiments.FormatAll(experiments.Fig10LLaMA13B(batches, prompts[:4])))
+	})
+	if *table == "3" || *fig == "all" {
+		fmt.Println(experiments.Table3TP(tc).Format())
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

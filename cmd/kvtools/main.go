@@ -1,0 +1,55 @@
+// Command kvtools regenerates the paper's tool-suite experiments (Section
+// 5): Table 6 (throughput and length predictor accuracy) and Table 8 (the
+// request router's average end-to-end latency under four policies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/experiments"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/perf"
+	"rethinkkv/internal/predictor"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to run: 6, 8, all")
+	n := flag.Int("n", 1000, "request count for the router study")
+	rps := flag.Float64("rps", 10, "Poisson arrival rate for the router study")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	advantage := flag.String("advantage", "", "print the throughput-analysis advantage map for a method (e.g. stream-512)")
+	flag.Parse()
+
+	if *advantage != "" {
+		m, err := compress.Get(*advantage)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fp := perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet("fp16"), 1)
+		me := perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, m, 1)
+		a := predictor.ComputeAdvantage(fp, me, m.Name,
+			[]int{1, 2, 4, 8, 16}, []int{256, 512, 1024, 2048, 4096, 8192})
+		fmt.Println(a.Format())
+		dec, pre := a.AdvantageousFraction()
+		fmt.Printf("advantageous cells: decode %.0f%%, prefill %.0f%%\n", 100*dec, 100*pre)
+		return
+	}
+
+	if *table == "6" || *table == "all" {
+		fmt.Println(experiments.Table6Predictors(*seed).Format())
+	}
+	if *table == "8" || *table == "all" {
+		t, err := experiments.Table8Router(*n, *rps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+	}
+}

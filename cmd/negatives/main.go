@@ -1,0 +1,44 @@
+// Command negatives regenerates the paper's negative-sample experiments
+// (Section 4.4 and Section 5.3): Figure 6 (threshold vs negative counts),
+// Figure 7 (task-type breakdown), and Table 7 (scores on the negative
+// benchmark). Every number comes from running the tiny transformer for real
+// under each compression method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rethinkkv/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 120, "LongBench-like sample count")
+	promptLen := flag.Int("prompt", 256, "prompt scale in tokens")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	fig := flag.String("fig", "all", "figure to run: 6, 7, all")
+	table := flag.String("table", "", "table to run: 7")
+	family := flag.String("family", "llama", "model family seed: llama or mistral (Figures 17-18, Table 11)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "evaluating %d samples × 5 methods on the tiny model (%s family)...\n", *n, *family)
+	var st *experiments.NegativeStudy
+	if *family == "mistral" {
+		st = experiments.MistralNegativeStudy(*n, *promptLen, *seed)
+	} else {
+		st = experiments.RunNegativeStudy(*n, *promptLen, *seed)
+	}
+
+	if *fig == "6" || *fig == "all" {
+		for _, f := range st.Fig6Thresholds() {
+			fmt.Println(f.Format())
+		}
+	}
+	if *fig == "7" || *fig == "all" {
+		fmt.Println(st.Fig7TaskBreakdown().Format())
+	}
+	if *table == "7" || *fig == "all" {
+		fmt.Println(st.Table7NegativeBenchmark().Format())
+	}
+}

@@ -1,0 +1,47 @@
+// Longcontext: hunt for negative samples (Algorithm 1) on a synthetic
+// LongBench suite and print the task-type breakdown — a miniature of the
+// paper's Figures 6-7 pipeline.
+//
+// Run: go run ./examples/longcontext
+package main
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/accuracy"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/workload"
+)
+
+func main() {
+	tiny := model.New(model.Tiny(), 11)
+	ev := accuracy.NewEvaluator(tiny, accuracy.Config{ContSteps: 8})
+	samples := workload.SampleLongBench(workload.DefaultLongBench(60, 256, model.Tiny().Vocab), 2)
+
+	methods := []string{"kivi-4", "stream-512"}
+	var baseline []accuracy.Result
+	byMethod := map[string][]accuracy.Result{}
+	fmt.Printf("evaluating %d samples under %v...\n\n", len(samples), methods)
+	for _, s := range samples {
+		ref := ev.RunBaseline(s)
+		baseline = append(baseline, ev.Evaluate(ref, "fp16"))
+		for _, m := range methods {
+			byMethod[m] = append(byMethod[m], ev.Evaluate(ref, m))
+		}
+	}
+
+	fmt.Println("threshold   kivi-4  stream-512  combined")
+	for _, theta := range []float64{0.02, 0.08, 0.32} {
+		k := len(accuracy.CollectNegatives(baseline, byMethod, []string{"kivi-4"}, theta).IDs)
+		s := len(accuracy.CollectNegatives(baseline, byMethod, []string{"stream-512"}, theta).IDs)
+		c := len(accuracy.CollectNegatives(baseline, byMethod, methods, theta).IDs)
+		fmt.Printf("%8.0f%% %8d %11d %9d\n", theta*100, k, s, c)
+	}
+
+	set := accuracy.CollectNegatives(baseline, byMethod, []string{"stream-512"}, 0.10)
+	bd := accuracy.TaskBreakdown(set, samples)
+	fmt.Printf("\nstream-512 negatives by task group (θ=10%%, n=%d):\n", len(set.IDs))
+	for _, g := range accuracy.SortedGroups(bd) {
+		fmt.Printf("  %-14s %5.1f%%\n", g, 100*bd[g])
+	}
+}

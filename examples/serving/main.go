@@ -1,0 +1,86 @@
+// Serving: simulate a 4-GPU cluster behind the paper's request router
+// (Section 5.4) and compare the four routing policies' mean end-to-end
+// latency on a Poisson trace.
+//
+// Run: go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gen"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/perf"
+	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/router"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+func est(method string) *perf.Estimator {
+	return perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet(method), 1)
+}
+
+func main() {
+	const method = "stream-512"
+	lm := gen.Default()
+
+	// Train the predictor suite.
+	train := workload.SampleShareGPT(workload.DefaultShareGPT(2000), 1)
+	preds := router.Predictors{
+		Thr:  map[string]*predictor.ThroughputPredictor{},
+		Len:  map[string]*predictor.LengthPredictor{},
+		Salt: 9,
+	}
+	for _, name := range []string{"fp16", method} {
+		m := compress.MustGet(name)
+		preds.Thr[name] = predictor.TrainThroughput(est(name), predictor.DefaultGrid(), 2)
+		preds.Len[name] = predictor.TrainLength(train, lm.Run(train, m, 3), m, 9)
+	}
+
+	// 1 FP16 GPU + 3 compressed GPUs (the paper's mixed fleet).
+	mixed := &serving.Cluster{BatchCap: 64, LM: lm, Seed: 4}
+	mixed.GPUs = append(mixed.GPUs, serving.GPUConfig{ID: 0, Method: compress.MustGet("fp16"), Est: est("fp16")})
+	for i := 1; i < 4; i++ {
+		mixed.GPUs = append(mixed.GPUs, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: est(method)})
+	}
+	uniform := &serving.Cluster{BatchCap: 64, LM: lm, Seed: 4}
+	for i := 0; i < 4; i++ {
+		uniform.GPUs = append(uniform.GPUs, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: est(method)})
+	}
+
+	cfg := workload.DefaultShareGPT(600)
+	cfg.RPS = 10
+	reqs := workload.SampleShareGPT(cfg, 5)
+
+	type run struct {
+		cluster *serving.Cluster
+		r       serving.Router
+	}
+	runs := []run{
+		{uniform, router.Baseline{}},
+		{mixed, router.WithThroughput{P: preds}},
+		{mixed, router.WithLength{P: preds}},
+		{mixed, router.WithBoth{P: preds}},
+	}
+	fmt.Printf("%d requests @ 10 rps, 4×A6000, method %s\n\n", len(reqs), method)
+	fmt.Println("policy         mean-E2E(s)")
+	var base float64
+	for i, r := range runs {
+		out, err := r.cluster.Run(reqs, r.r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := serving.MeanE2E(out)
+		if i == 0 {
+			base = mean
+			fmt.Printf("%-14s %8.2f\n", r.r.Name(), mean)
+			continue
+		}
+		fmt.Printf("%-14s %8.2f   (%.2fx vs baseline)\n", r.r.Name(), mean, base/mean)
+	}
+}

@@ -1,0 +1,146 @@
+package accuracy
+
+import (
+	"sort"
+
+	"rethinkkv/internal/workload"
+)
+
+// NegativeSet is the output of Algorithm 1: the sample IDs that are benign
+// under the baseline but degrade beyond the threshold under *every* method
+// in the algorithm set.
+type NegativeSet struct {
+	Threshold float64
+	Methods   []string
+	IDs       []int
+}
+
+// CollectNegatives implements the paper's Algorithm 1 exactly:
+//
+//	for each benign sample d (baseline accuracy >= the baseline average):
+//	    negative := true
+//	    for each algorithm A in the set:
+//	        if acc(A, d) >= (1-θ) × acc(baseline, d): negative = false
+//	    if negative: add d
+//
+// baseline[i] and byMethod[m][i] must describe the same sample order.
+func CollectNegatives(baseline []Result, byMethod map[string][]Result, methods []string, theta float64) NegativeSet {
+	out := NegativeSet{Threshold: theta, Methods: append([]string(nil), methods...)}
+	if len(baseline) == 0 || len(methods) == 0 {
+		return out
+	}
+	// Benign criterion (footnote 2): accuracy at or above the average.
+	// LongBench metrics are not comparable across task types (code scores
+	// ~97, summarization ~32), so the average is per task group — a
+	// global mean would disqualify every sample of low-scale tasks.
+	groupSum := map[string]float64{}
+	groupN := map[string]int{}
+	for _, r := range baseline {
+		g := r.Sample.Task.Group()
+		groupSum[g] += r.Score
+		groupN[g]++
+	}
+	for i, b := range baseline {
+		g := b.Sample.Task.Group()
+		if b.Score < groupSum[g]/float64(groupN[g]) {
+			continue // not benign
+		}
+		negative := true
+		for _, m := range methods {
+			rs, ok := byMethod[m]
+			if !ok || i >= len(rs) {
+				negative = false
+				break
+			}
+			if rs[i].Score >= (1-theta)*b.Score {
+				negative = false
+				break
+			}
+		}
+		if negative {
+			out.IDs = append(out.IDs, b.Sample.ID)
+		}
+	}
+	return out
+}
+
+// ThresholdSweep runs Algorithm 1 across thresholds (fractions, e.g. 0.02,
+// 0.08, 0.32 for the paper's 2^1..2^5 percent axis) and returns the
+// negative-sample count per threshold — Figure 6's curve.
+func ThresholdSweep(baseline []Result, byMethod map[string][]Result, methods []string, thetas []float64) []int {
+	out := make([]int, len(thetas))
+	for i, th := range thetas {
+		out[i] = len(CollectNegatives(baseline, byMethod, methods, th).IDs)
+	}
+	return out
+}
+
+// TaskBreakdown returns, for a negative set, the proportion of negatives in
+// each Figure-7 task group, keyed by group name.
+func TaskBreakdown(set NegativeSet, samples []workload.Sample) map[string]float64 {
+	byID := make(map[int]workload.Sample, len(samples))
+	for _, s := range samples {
+		byID[s.ID] = s
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, id := range set.IDs {
+		s, ok := byID[id]
+		if !ok {
+			continue
+		}
+		counts[s.Task.Group()]++
+		total++
+	}
+	out := map[string]float64{}
+	if total == 0 {
+		return out
+	}
+	for g, c := range counts {
+		out[g] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// GroupScores averages scores per Figure-7 task group for a result slice —
+// Table 7's rows.
+func GroupScores(results []Result) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range results {
+		g := r.Sample.Task.Group()
+		sums[g] += r.Score
+		counts[g]++
+	}
+	out := map[string]float64{}
+	for g, s := range sums {
+		out[g] = s / float64(counts[g])
+	}
+	return out
+}
+
+// FilterByIDs returns the results whose sample IDs are in the given set,
+// preserving order — used to score methods on the negative benchmark.
+func FilterByIDs(results []Result, ids []int) []Result {
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []Result
+	for _, r := range results {
+		if want[r.Sample.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortedGroups returns group names in a stable presentation order.
+func SortedGroups(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,134 @@
+package accuracy
+
+import (
+	"testing"
+
+	"rethinkkv/internal/workload"
+)
+
+// mkResult builds a synthetic Result for Algorithm-1 unit tests.
+func mkResult(id int, task workload.TaskType, score float64) Result {
+	return Result{Sample: workload.Sample{ID: id, Task: task}, Score: score}
+}
+
+func TestCollectNegativesAlgorithm1(t *testing.T) {
+	baseline := []Result{
+		mkResult(0, workload.SingleDocQA, 100), // benign
+		mkResult(1, workload.SingleDocQA, 100), // benign
+		mkResult(2, workload.SingleDocQA, 10),  // below average: not benign
+	}
+	byMethod := map[string][]Result{
+		"a": {mkResult(0, workload.SingleDocQA, 50), mkResult(1, workload.SingleDocQA, 95), mkResult(2, workload.SingleDocQA, 0)},
+		"b": {mkResult(0, workload.SingleDocQA, 40), mkResult(1, workload.SingleDocQA, 40), mkResult(2, workload.SingleDocQA, 0)},
+	}
+	// θ=10%: sample 0 fails under both (50 and 40 < 90) → negative for the
+	// combined set. Sample 1 passes under a (95 >= 90) → not negative.
+	// Sample 2 is not benign regardless.
+	set := CollectNegatives(baseline, byMethod, []string{"a", "b"}, 0.10)
+	if len(set.IDs) != 1 || set.IDs[0] != 0 {
+		t.Fatalf("combined negatives = %v", set.IDs)
+	}
+	// Single-method set b: samples 0 and 1 both fail.
+	setB := CollectNegatives(baseline, byMethod, []string{"b"}, 0.10)
+	if len(setB.IDs) != 2 {
+		t.Fatalf("b negatives = %v", setB.IDs)
+	}
+	// Combined set must never exceed any single set (Observation 5).
+	if len(set.IDs) > len(setB.IDs) {
+		t.Fatal("ensemble should reduce negatives")
+	}
+}
+
+func TestCollectNegativesEdgeCases(t *testing.T) {
+	if s := CollectNegatives(nil, nil, []string{"a"}, 0.1); len(s.IDs) != 0 {
+		t.Fatal("empty baseline should yield none")
+	}
+	base := []Result{mkResult(0, workload.Code, 50)}
+	if s := CollectNegatives(base, map[string][]Result{}, []string{"missing"}, 0.1); len(s.IDs) != 0 {
+		t.Fatal("missing method results should not mark negatives")
+	}
+}
+
+func TestThresholdSweepMonotone(t *testing.T) {
+	// Figure 6: raising the threshold can only shrink the negative count.
+	baseline := make([]Result, 50)
+	method := make([]Result, 50)
+	for i := range baseline {
+		baseline[i] = mkResult(i, workload.Summarization, 100)
+		method[i] = mkResult(i, workload.Summarization, float64(2*i)) // 0..98
+	}
+	counts := ThresholdSweep(baseline, map[string][]Result{"m": method}, []string{"m"},
+		[]float64{0.02, 0.04, 0.08, 0.16, 0.32})
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("sweep not monotone: %v", counts)
+		}
+	}
+	if counts[0] == 0 {
+		t.Fatal("low threshold should catch many negatives")
+	}
+}
+
+func TestTaskBreakdownAndGroupScores(t *testing.T) {
+	samples := []workload.Sample{
+		{ID: 0, Task: workload.Summarization},
+		{ID: 1, Task: workload.SingleDocQA},
+		{ID: 2, Task: workload.MultiDocQA},
+		{ID: 3, Task: workload.Code},
+	}
+	set := NegativeSet{IDs: []int{0, 1, 2}}
+	bd := TaskBreakdown(set, samples)
+	if bd["Summarization"] != 1.0/3 || bd["QA"] != 2.0/3 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	results := []Result{
+		mkResult(0, workload.Summarization, 30),
+		mkResult(1, workload.SingleDocQA, 50),
+		mkResult(2, workload.MultiDocQA, 40),
+	}
+	gs := GroupScores(results)
+	if gs["Summarization"] != 30 || gs["QA"] != 45 {
+		t.Fatalf("group scores = %v", gs)
+	}
+	groups := SortedGroups(gs)
+	if len(groups) != 2 || groups[0] != "QA" {
+		t.Fatalf("sorted groups = %v", groups)
+	}
+}
+
+func TestFilterByIDs(t *testing.T) {
+	rs := []Result{mkResult(0, workload.Code, 1), mkResult(1, workload.Code, 2), mkResult(2, workload.Code, 3)}
+	got := FilterByIDs(rs, []int{2, 0})
+	if len(got) != 2 || got[0].Sample.ID != 0 || got[1].Sample.ID != 2 {
+		t.Fatalf("filtered = %v", got)
+	}
+}
+
+func TestEndToEndNegativePipeline(t *testing.T) {
+	// Integration: real tiny-model evaluation produces negatives whose
+	// task mix is dominated by context-hungry tasks (Figure 7's shape).
+	if testing.Short() {
+		t.Skip("tiny-model sweep skipped in -short")
+	}
+	m := tinyModel()
+	e := NewEvaluator(m, Config{ContSteps: 6})
+	samples := suite(40)
+	var baseline []Result
+	byMethod := map[string][]Result{}
+	methods := []string{"stream-256", "h2o-256"}
+	for _, s := range samples {
+		ref := e.RunBaseline(s)
+		baseline = append(baseline, e.Evaluate(ref, "fp16"))
+		for _, mm := range methods {
+			byMethod[mm] = append(byMethod[mm], e.Evaluate(ref, mm))
+		}
+	}
+	single := CollectNegatives(baseline, byMethod, methods[:1], 0.10)
+	combined := CollectNegatives(baseline, byMethod, methods, 0.10)
+	if len(single.IDs) == 0 {
+		t.Fatal("eviction at budget 64 on 256-token prompts must produce negatives")
+	}
+	if len(combined.IDs) > len(single.IDs) {
+		t.Fatal("combined set should not exceed single set")
+	}
+}

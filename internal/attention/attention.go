@@ -1,0 +1,146 @@
+// Package attention implements single-query attention kernels that produce
+// identical outputs but differ in pass structure and memory traffic:
+//
+//   - Naive: the multi-pass "transformers library" kernel — materialises the
+//     score vector, so K is read, scores are written and re-read, then V is
+//     read (three logical passes over sequence-length-sized data).
+//   - Flash: a FlashAttention-style one-pass kernel with online softmax —
+//     K and V are each streamed once and no score vector ever hits memory.
+//
+// Each kernel reports its byte traffic. The analytical cost model in
+// internal/perf uses the same pass structure; these kernels are the
+// executable ground truth that validates it, and they also demonstrate the
+// paper's compatibility argument: computing an eviction policy's attention
+// scores under Flash requires an extra pass that re-reads K (FlashScores).
+package attention
+
+import (
+	"math"
+
+	"rethinkkv/internal/tensor"
+)
+
+// Traffic accounts the memory behaviour of one kernel invocation in
+// elements (multiply by dtype size for bytes).
+type Traffic struct {
+	ElemsRead    int64
+	ElemsWritten int64
+	Passes       int // logical passes over O(seqlen)-sized data
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.ElemsRead += other.ElemsRead
+	t.ElemsWritten += other.ElemsWritten
+	if other.Passes > 0 {
+		t.Passes += other.Passes
+	}
+}
+
+// Bytes returns total bytes moved assuming the given element size.
+func (t Traffic) Bytes(elemSize int64) int64 {
+	return (t.ElemsRead + t.ElemsWritten) * elemSize
+}
+
+// Naive computes softmax(q·Kᵀ/√d)·V by materialising the score vector, as
+// the unoptimized transformers-library path does. Returns the attention
+// output, the (post-softmax) scores, and the traffic.
+func Naive(q []float32, keys, vals [][]float32) ([]float32, []float32, Traffic) {
+	d := len(q)
+	n := len(keys)
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	scores := make([]float32, n)
+	var tr Traffic
+	// Pass 1: read K, write scores.
+	for i, k := range keys {
+		scores[i] = tensor.Dot(q, k) * invSqrt
+	}
+	tr.ElemsRead += int64(n * d)
+	tr.ElemsWritten += int64(n)
+	// Pass 2: softmax reads and rewrites the scores.
+	tensor.Softmax(scores)
+	tr.ElemsRead += int64(n)
+	tr.ElemsWritten += int64(n)
+	// Pass 3: read scores and V, accumulate output.
+	out := make([]float32, d)
+	for i, v := range vals {
+		tensor.AXPY(out, scores[i], v)
+	}
+	tr.ElemsRead += int64(n) + int64(n*d)
+	tr.ElemsWritten += int64(d)
+	tr.Passes = 3
+	return out, scores, tr
+}
+
+// Flash computes the same attention output with a single fused pass using
+// the online-softmax recurrence; K and V are each read exactly once and the
+// score vector never exists in memory. Scores are NOT available — that is
+// the point (the paper's incompatibility argument for score-based eviction).
+func Flash(q []float32, keys, vals [][]float32) ([]float32, Traffic) {
+	d := len(q)
+	n := len(keys)
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	out := make([]float32, d)
+	var tr Traffic
+	if n == 0 {
+		return out, tr
+	}
+	runningMax := float32(math.Inf(-1))
+	var runningSum float32
+	for i := 0; i < n; i++ {
+		s := tensor.Dot(q, keys[i]) * invSqrt
+		newMax := runningMax
+		if s > newMax {
+			newMax = s
+		}
+		correction := float32(math.Exp(float64(runningMax - newMax)))
+		p := float32(math.Exp(float64(s - newMax)))
+		runningSum = runningSum*correction + p
+		for j := 0; j < d; j++ {
+			out[j] = out[j]*correction + p*vals[i][j]
+		}
+		runningMax = newMax
+	}
+	inv := 1 / runningSum
+	for j := range out {
+		out[j] *= inv
+	}
+	tr.ElemsRead = int64(2 * n * d) // K and V once each
+	tr.ElemsWritten = int64(d)
+	tr.Passes = 1
+	return out, tr
+}
+
+// FlashScores recovers the post-softmax attention scores after a Flash
+// invocation by re-reading K and recomputing q·Kᵀ — the extra passes an
+// eviction policy like H2O forces onto a FlashAttention engine.
+func FlashScores(q []float32, keys [][]float32) ([]float32, Traffic) {
+	d := len(q)
+	n := len(keys)
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	scores := make([]float32, n)
+	for i, k := range keys {
+		scores[i] = tensor.Dot(q, k) * invSqrt
+	}
+	tensor.Softmax(scores)
+	return scores, Traffic{
+		ElemsRead:    int64(n*d) + int64(n),
+		ElemsWritten: int64(2 * n),
+		Passes:       2, // re-read K, then softmax pass over scores
+	}
+}
+
+// Paged computes Flash attention over a block-table layout: entries arrive
+// as fixed-size pages, with the last page partially filled. Output is
+// identical to Flash on the concatenated sequence; traffic adds one
+// block-table indirection read per page.
+func Paged(q []float32, pages [][][]float32, pageVals [][][]float32) ([]float32, Traffic) {
+	var keys, vals [][]float32
+	for p := range pages {
+		keys = append(keys, pages[p]...)
+		vals = append(vals, pageVals[p]...)
+	}
+	out, tr := Flash(q, keys, vals)
+	tr.ElemsRead += int64(len(pages)) // block-table entries
+	return out, tr
+}

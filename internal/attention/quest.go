@@ -1,0 +1,154 @@
+package attention
+
+import (
+	"math"
+	"sort"
+)
+
+// Quest (Tang et al., 2024) is a query-aware sparsity method: the cache is
+// kept in fixed-size pages, each summarised by per-channel element-wise
+// minima and maxima of its keys. At decode time, each page's criticality is
+// upper-bounded as Σ_c max(q_c·min_c, q_c·max_c); only the top-K pages are
+// loaded and attended. Unlike eviction policies, nothing is discarded —
+// memory stays full-size but attention *traffic* shrinks, and recall
+// degrades only when the bound misranks a relevant page.
+
+// PageSummary holds one page's per-channel key bounds.
+type PageSummary struct {
+	Min, Max []float32
+}
+
+// SummarizePage computes the bounds for a page of key vectors. It panics on
+// an empty page.
+func SummarizePage(keys [][]float32) PageSummary {
+	if len(keys) == 0 {
+		panic("attention: empty page")
+	}
+	d := len(keys[0])
+	s := PageSummary{Min: make([]float32, d), Max: make([]float32, d)}
+	copy(s.Min, keys[0])
+	copy(s.Max, keys[0])
+	for _, k := range keys[1:] {
+		for c := 0; c < d; c++ {
+			if k[c] < s.Min[c] {
+				s.Min[c] = k[c]
+			}
+			if k[c] > s.Max[c] {
+				s.Max[c] = k[c]
+			}
+		}
+	}
+	return s
+}
+
+// Criticality returns Quest's upper bound on the page's maximum query-key
+// inner product.
+func (s PageSummary) Criticality(q []float32) float64 {
+	var sum float64
+	for c, qc := range q {
+		lo := float64(qc) * float64(s.Min[c])
+		hi := float64(qc) * float64(s.Max[c])
+		sum += math.Max(lo, hi)
+	}
+	return sum
+}
+
+// QuestResult reports a Quest attention invocation.
+type QuestResult struct {
+	Out Traffic
+	// PagesSelected / PagesTotal measure the achieved sparsity.
+	PagesSelected, PagesTotal int
+}
+
+// Quest computes attention over only the topK most critical pages. Returns
+// the output, the traffic (summary reads + selected pages only), and the
+// selection stats. The final (partial) page is always selected, matching
+// Quest's protection of the most recent tokens.
+func Quest(q []float32, pageKeys, pageVals [][][]float32, topK int) ([]float32, Traffic, QuestResult) {
+	n := len(pageKeys)
+	if topK >= n || n == 0 {
+		out, tr := Paged(q, pageKeys, pageVals)
+		return out, tr, QuestResult{PagesSelected: n, PagesTotal: n}
+	}
+	d := len(q)
+	type scored struct {
+		idx  int
+		crit float64
+	}
+	scores := make([]scored, n)
+	for i, pk := range pageKeys {
+		scores[i] = scored{i, SummarizePage(pk).Criticality(q)}
+	}
+	// Always keep the last page (recent tokens).
+	last := n - 1
+	sort.Slice(scores, func(i, j int) bool { return scores[i].crit > scores[j].crit })
+	keep := map[int]bool{last: true}
+	for _, s := range scores {
+		if len(keep) >= topK {
+			break
+		}
+		keep[s.idx] = true
+	}
+	idxs := make([]int, 0, len(keep))
+	for i := range keep {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var keys, vals [][]float32
+	for _, i := range idxs {
+		keys = append(keys, pageKeys[i]...)
+		vals = append(vals, pageVals[i]...)
+	}
+	out, tr := Flash(q, keys, vals)
+	// Traffic: the summaries of every page are read (2·d each), plus the
+	// selected pages' K/V (already counted by Flash).
+	tr.ElemsRead += int64(n * 2 * d)
+	return out, tr, QuestResult{PagesSelected: len(idxs), PagesTotal: n}
+}
+
+// QuestRecall measures, for diagnostics, the fraction of true attention
+// mass captured by the selected pages: it runs full attention to obtain the
+// exact scores, then sums the mass of the selected pages.
+func QuestRecall(q []float32, pageKeys, pageVals [][][]float32, topK int) float64 {
+	n := len(pageKeys)
+	if n == 0 {
+		return 1
+	}
+	var keys, vals [][]float32
+	pageOf := make([]int, 0)
+	for p, pk := range pageKeys {
+		keys = append(keys, pk...)
+		vals = append(vals, pageVals[p]...)
+		for range pk {
+			pageOf = append(pageOf, p)
+		}
+	}
+	_, scores, _ := Naive(q, keys, vals)
+	// Re-derive the Quest selection.
+	if topK >= n {
+		return 1
+	}
+	type scored struct {
+		idx  int
+		crit float64
+	}
+	sc := make([]scored, n)
+	for i, pk := range pageKeys {
+		sc[i] = scored{i, SummarizePage(pk).Criticality(q)}
+	}
+	sort.Slice(sc, func(i, j int) bool { return sc[i].crit > sc[j].crit })
+	keep := map[int]bool{n - 1: true}
+	for _, s := range sc {
+		if len(keep) >= topK {
+			break
+		}
+		keep[s.idx] = true
+	}
+	var mass float64
+	for i, s := range scores {
+		if keep[pageOf[i]] {
+			mass += float64(s)
+		}
+	}
+	return mass
+}

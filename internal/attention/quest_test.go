@@ -1,0 +1,134 @@
+package attention
+
+import (
+	"math"
+	"testing"
+)
+
+func pageify(keys, vals [][]float32, pageSize int) (pk, pv [][][]float32) {
+	for i := 0; i < len(keys); i += pageSize {
+		end := i + pageSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		pk = append(pk, keys[i:end])
+		pv = append(pv, vals[i:end])
+	}
+	return pk, pv
+}
+
+func TestSummarizePage(t *testing.T) {
+	s := SummarizePage([][]float32{{1, -2}, {3, 0}, {-1, 5}})
+	if s.Min[0] != -1 || s.Max[0] != 3 || s.Min[1] != -2 || s.Max[1] != 5 {
+		t.Fatalf("bounds = %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SummarizePage(nil)
+}
+
+func TestCriticalityUpperBounds(t *testing.T) {
+	// The criticality must upper-bound every actual q·k in the page.
+	q, keys, _ := randSeq(4, 32, 8)
+	s := SummarizePage(keys)
+	bound := s.Criticality(q)
+	for _, k := range keys {
+		var dot float64
+		for c := range q {
+			dot += float64(q[c]) * float64(k[c])
+		}
+		if dot > bound+1e-5 {
+			t.Fatalf("q·k %v exceeds bound %v", dot, bound)
+		}
+	}
+}
+
+func TestQuestSelectsAllWhenKLarge(t *testing.T) {
+	q, keys, vals := randSeq(5, 48, 8)
+	pk, pv := pageify(keys, vals, 16)
+	full, _ := Flash(q, keys, vals)
+	out, _, res := Quest(q, pk, pv, 10)
+	if res.PagesSelected != res.PagesTotal {
+		t.Fatal("large K should select everything")
+	}
+	for i := range full {
+		if math.Abs(float64(full[i]-out[i])) > 1e-5 {
+			t.Fatal("full selection should match flash")
+		}
+	}
+}
+
+func TestQuestReducesTraffic(t *testing.T) {
+	q, keys, vals := randSeq(6, 256, 16)
+	pk, pv := pageify(keys, vals, 16)
+	_, fullTr := Flash(q, keys, vals)
+	_, qTr, res := Quest(q, pk, pv, 4)
+	if res.PagesSelected != 4 {
+		t.Fatalf("selected %d pages", res.PagesSelected)
+	}
+	if qTr.ElemsRead >= fullTr.ElemsRead {
+		t.Fatalf("quest reads %d >= full %d", qTr.ElemsRead, fullTr.ElemsRead)
+	}
+}
+
+func TestQuestKeepsLastPage(t *testing.T) {
+	q, keys, vals := randSeq(7, 64, 8)
+	pk, pv := pageify(keys, vals, 16)
+	// With topK=1 only the recent page survives.
+	_, _, res := Quest(q, pk, pv, 1)
+	if res.PagesSelected != 1 {
+		t.Fatalf("selected %d", res.PagesSelected)
+	}
+	// Output equals attention over the last page alone.
+	out, _, _ := Quest(q, pk, pv, 1)
+	want, _ := Flash(q, pk[len(pk)-1], pv[len(pv)-1])
+	for i := range want {
+		if math.Abs(float64(want[i]-out[i])) > 1e-5 {
+			t.Fatal("topK=1 should attend the recent page only")
+		}
+	}
+}
+
+func TestQuestRecallHighOnConcentratedMass(t *testing.T) {
+	// Build a query aligned with one page's keys: Quest must find it.
+	d := 8
+	var keys, vals [][]float32
+	for i := 0; i < 64; i++ {
+		k := make([]float32, d)
+		v := make([]float32, d)
+		if i >= 16 && i < 32 { // page 1 carries the signal
+			k[0] = 5
+		} else {
+			k[0] = -5
+		}
+		v[0] = float32(i)
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	q := make([]float32, d)
+	q[0] = 3
+	pk, pv := pageify(keys, vals, 16)
+	recall := QuestRecall(q, pk, pv, 2)
+	if recall < 0.95 {
+		t.Fatalf("recall %v on concentrated mass", recall)
+	}
+	// And with an adversarial (anti-aligned) query the recent page wins by
+	// protection, keeping recall sane.
+	q[0] = -3
+	if r := QuestRecall(q, pk, pv, 2); r <= 0 || r > 1.0001 {
+		t.Fatalf("recall out of range: %v", r)
+	}
+}
+
+func TestQuestEmptyPages(t *testing.T) {
+	out, _, res := Quest([]float32{1, 2}, nil, nil, 3)
+	if len(out) != 2 || res.PagesTotal != 0 {
+		t.Fatal("empty page list should degrade gracefully")
+	}
+}

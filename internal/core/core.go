@@ -1,0 +1,123 @@
+// Package core is the library's top-level facade: it wires a runnable tiny
+// model, a compression method's cache, and the analytical cost model into a
+// single Pipeline that callers (examples, experiment runners, downstream
+// users) drive with a few calls.
+package core
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/accuracy"
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/perf"
+	"rethinkkv/internal/tensor"
+)
+
+// Pipeline runs real generation under a compression method and reports the
+// cache-level effects.
+type Pipeline struct {
+	Model  *model.Model
+	Method compress.Method
+	cache  kvcache.Cache
+	pos    int
+}
+
+// NewPipeline builds a pipeline over the tiny model with the named method's
+// tiny-scale cache. Seed fixes the model weights.
+func NewPipeline(methodName string, seed uint64) (*Pipeline, error) {
+	m := model.New(model.Tiny(), seed)
+	method, err := compress.Get(methodName)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := accuracy.TinyCache(methodName, m.CacheShape())
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Model: m, Method: method, cache: cache}, nil
+}
+
+// Cache exposes the underlying compressed cache for inspection.
+func (p *Pipeline) Cache() kvcache.Cache { return p.cache }
+
+// Report summarises cache-level effects after a run.
+type Report struct {
+	Method           string
+	TokensProcessed  int
+	CacheBytes       int64
+	FP16Bytes        int64
+	CompressionRatio float64
+	RetainedTokens   int // layer-0 head-0 retained entries
+}
+
+// Run prefills the prompt, greedily decodes maxNew tokens, and reports.
+func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
+	if p.pos != 0 {
+		return nil, Report{}, fmt.Errorf("core: pipeline already used; construct a fresh one")
+	}
+	if len(prompt) == 0 {
+		return nil, Report{}, fmt.Errorf("core: empty prompt")
+	}
+	res := p.Model.Prefill(prompt, p.cache)
+	if pf, ok := p.cache.(compress.Prefiller); ok {
+		pf.FinishPrefill()
+	}
+	pos := len(prompt)
+	logits := res.Logits
+	var out []int
+	for i := 0; i < maxNew; i++ {
+		next := tensor.Argmax(logits)
+		out = append(out, next)
+		sr := p.Model.Forward(next, pos, p.cache)
+		logits = sr.Logits
+		pos++
+	}
+	total := pos
+	rep := Report{
+		Method:          p.Method.Name,
+		TokensProcessed: total,
+		CacheBytes:      p.cache.MemoryBytes(),
+		FP16Bytes:       kvcache.FP16Bytes(p.cache.Shape(), total),
+		RetainedTokens:  p.cache.Len(0, 0),
+	}
+	if rep.CacheBytes > 0 {
+		rep.CompressionRatio = float64(rep.FP16Bytes) / float64(rep.CacheBytes)
+	}
+	p.pos = pos
+	return out, rep, nil
+}
+
+// System bundles the full-scale analytical view for one deployment choice.
+type System struct {
+	Est *perf.Estimator
+}
+
+// NewSystem builds the cost-model view for (hardware, model, engine,
+// method, TP) by name.
+func NewSystem(hwName, modelName, engineName, methodName string, tp int) (*System, error) {
+	hw, ok := gpu.ByName(hwName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown hardware %q", hwName)
+	}
+	cfg, ok := model.ByName(modelName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", modelName)
+	}
+	eng, err := engine.ByName(engineName)
+	if err != nil {
+		return nil, err
+	}
+	method, err := compress.Get(methodName)
+	if err != nil {
+		return nil, err
+	}
+	est, err := perf.New(hw, cfg, eng, method, tp)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Est: est}, nil
+}

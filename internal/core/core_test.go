@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPipelineRun(t *testing.T) {
+	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, method := range []string{"fp16", "kivi-4", "gear-4", "h2o-512", "stream-512", "snapkv-512"} {
+		p, err := NewPipeline(method, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, rep, err := p.Run(prompt, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(out) != 10 {
+			t.Fatalf("%s: generated %d", method, len(out))
+		}
+		if rep.TokensProcessed != 18 {
+			t.Fatalf("%s: tokens = %d", method, rep.TokensProcessed)
+		}
+		if rep.CacheBytes <= 0 || rep.CompressionRatio <= 0 {
+			t.Fatalf("%s: bad report %+v", method, rep)
+		}
+		if method == "fp16" && rep.RetainedTokens != 18 {
+			t.Fatalf("fp16 should retain everything: %+v", rep)
+		}
+	}
+}
+
+func TestPipelineCompressionReducesBytes(t *testing.T) {
+	prompt := make([]int, 300)
+	for i := range prompt {
+		prompt[i] = i % 500
+	}
+	run := func(method string) Report {
+		p, err := NewPipeline(method, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := p.Run(prompt, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fp := run("fp16")
+	k := run("kivi-4")
+	s := run("stream-256")
+	if k.CacheBytes >= fp.CacheBytes {
+		t.Fatalf("kivi bytes %d should undercut fp16 %d", k.CacheBytes, fp.CacheBytes)
+	}
+	if s.CacheBytes >= fp.CacheBytes {
+		t.Fatalf("stream bytes %d should undercut fp16 %d", s.CacheBytes, fp.CacheBytes)
+	}
+	if s.RetainedTokens >= fp.RetainedTokens {
+		t.Fatal("eviction should shrink retained tokens")
+	}
+}
+
+func TestPipelineSameOutputForFP16Determinism(t *testing.T) {
+	prompt := []int{9, 8, 7, 6}
+	p1, _ := NewPipeline("fp16", 3)
+	p2, _ := NewPipeline("fp16", 3)
+	a, _, err := p1.Run(prompt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := p2.Run(prompt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fp16 pipeline must be deterministic")
+		}
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := NewPipeline("bogus", 1); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	p, _ := NewPipeline("fp16", 1)
+	if _, _, err := p.Run(nil, 5); err == nil {
+		t.Fatal("empty prompt should error")
+	}
+	if _, _, err := p.Run([]int{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Run([]int{1}, 1); err == nil {
+		t.Fatal("reuse should error")
+	}
+}
+
+func TestNewSystem(t *testing.T) {
+	s, err := NewSystem("a6000", "llama-2-7b", "lmdeploy", "kivi-4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr := s.Est.DecodeThroughput(1, 1024); thr <= 0 {
+		t.Fatalf("throughput = %v", thr)
+	}
+	// vLLM is a valid engine (Appendix A.4 comparison).
+	if _, err := NewSystem("a6000", "llama-2-7b", "vllm", "fp16", 1); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][5]string{
+		{"tpu", "llama-2-7b", "lmdeploy", "fp16", "1"},
+		{"a6000", "gpt-2", "lmdeploy", "fp16", "1"},
+		{"a6000", "llama-2-7b", "tgi", "fp16", "1"},
+		{"a6000", "llama-2-7b", "lmdeploy", "zip-9", "1"},
+	}
+	for _, c := range bad {
+		if _, err := NewSystem(c[0], c[1], c[2], c[3], 1); err == nil {
+			t.Fatalf("expected error for %v", c)
+		}
+	}
+}

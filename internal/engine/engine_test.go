@@ -1,0 +1,69 @@
+package engine
+
+import "testing"
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"trl", "trl+fa", "lmdeploy", "vllm"} {
+		p, err := ByName(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("lookup %q failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("tgi"); err == nil {
+		t.Fatal("unknown engine should error")
+	}
+	if err := VLLM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if VLLM.QuantKernelEff >= LMDeploy.QuantKernelEff {
+		t.Fatal("vllm's quant kernels must trail lmdeploy's (Appendix A.4)")
+	}
+}
+
+func TestStructuralOrdering(t *testing.T) {
+	// The production engine must dominate the eager ones on every axis the
+	// model charges.
+	if !(LMDeploy.BandwidthEff > TRLFA.BandwidthEff && TRLFA.BandwidthEff > TRL.BandwidthEff) {
+		t.Fatal("bandwidth efficiency ordering violated")
+	}
+	if !(LMDeploy.StepOverhead < TRLFA.StepOverhead && TRLFA.StepOverhead < TRL.StepOverhead) {
+		t.Fatal("step overhead ordering violated")
+	}
+	if LMDeploy.KernelsPerLayerDecode >= TRL.KernelsPerLayerDecode {
+		t.Fatal("fused engine should launch fewer kernels")
+	}
+	if !LMDeploy.FlashAttention || !LMDeploy.Paged {
+		t.Fatal("lmdeploy must model flash + paged")
+	}
+	if TRL.FlashAttention || TRL.Paged {
+		t.Fatal("trl must model neither")
+	}
+	if !TRLFA.FlashAttention || TRLFA.Paged {
+		t.Fatal("trl+fa must model flash without paging")
+	}
+	if LMDeploy.QuantKernelEff <= TRL.QuantKernelEff {
+		t.Fatal("lmdeploy ships the efficient quant kernels")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", BandwidthEff: 0, ComputeEff: 0.5, QuantKernelEff: 0.5, KernelsPerLayerDecode: 1, KernelsPerLayerPrefill: 1},
+		{Name: "b", BandwidthEff: 0.5, ComputeEff: 1.5, QuantKernelEff: 0.5, KernelsPerLayerDecode: 1, KernelsPerLayerPrefill: 1},
+		{Name: "c", BandwidthEff: 0.5, ComputeEff: 0.5, QuantKernelEff: 0, KernelsPerLayerDecode: 1, KernelsPerLayerPrefill: 1},
+		{Name: "d", BandwidthEff: 0.5, ComputeEff: 0.5, QuantKernelEff: 0.5, KernelsPerLayerDecode: 0, KernelsPerLayerPrefill: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("profile %s should fail validation", p.Name)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig8MistralRuns(t *testing.T) {
+	figs := Fig8Mistral([]int{1, 4, 16}, []int{1024, 2048})
+	if len(figs) < 4 {
+		t.Fatalf("figs = %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) == 0 {
+			t.Fatalf("%s: empty", f.Title)
+		}
+	}
+}
+
+func TestFig9IncludesSnapKV(t *testing.T) {
+	figs := Fig9SnapKV([]int{1, 4}, []int{1024, 4096})
+	found := false
+	for _, s := range figs[0].Series {
+		if s.Label == "SnapKV" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SnapKV series missing")
+	}
+	if len(figs[0].Series) != 6 {
+		t.Fatalf("series = %d", len(figs[0].Series))
+	}
+}
+
+func TestFig10LLaMA13BSlowerThan7B(t *testing.T) {
+	f13 := Fig10LLaMA13B([]int{1, 4}, []int{1024, 2048})
+	f7 := Fig1EngineDecode(ThroughputConfig{}, 256, []int{1, 4})
+	// Compare the lmdeploy series' first point: 13B must be slower.
+	var y13, y7 float64
+	for _, s := range f13[0].Series {
+		if s.Label == "lmdeploy" {
+			y13 = s.Y[0]
+		}
+	}
+	for _, s := range f7.Series {
+		if s.Label == "lmdeploy" {
+			y7 = s.Y[0]
+		}
+	}
+	if y13 >= y7 {
+		t.Fatalf("13B decode %v should trail 7B %v", y13, y7)
+	}
+}
+
+func TestTable9AndFig15Tagged(t *testing.T) {
+	t9 := Table9MistralShift(400, 1)
+	if !strings.Contains(t9.Title, "Mistral") {
+		t.Fatal("table 9 not tagged")
+	}
+	figs := Fig15MistralLengthDistribution(300, 1)
+	if len(figs) != 4 || !strings.Contains(figs[0].Title, "Mistral") {
+		t.Fatal("fig15 not tagged")
+	}
+}
+
+func TestFig16MistralCompressionGapNarrower(t *testing.T) {
+	// Mistral's GQA already shrinks the KV cache 4×, so KV compression has
+	// less traffic to save: the FP16→Stream gap in tail E2E latency is
+	// relatively smaller than on (MHA) LLaMA-2-7B.
+	llama := Fig5E2ECDF(300, 3)
+	mistral := Fig16MistralE2E(300, 3)
+	tail := func(f Figure, label string) float64 {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s.Y[len(s.Y)-1] // 0.99 quantile
+			}
+		}
+		t.Fatalf("series %s missing", label)
+		return 0
+	}
+	gap := func(f Figure) float64 {
+		fp := tail(f, "FP16")
+		return (fp - tail(f, "Stream")) / fp
+	}
+	if gap(mistral) >= gap(llama) {
+		t.Fatalf("Mistral compression gap %v should be narrower than LLaMA's %v (GQA)",
+			gap(mistral), gap(llama))
+	}
+}
+
+func TestMistralNegativeStudyDiffersFromLLaMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-model study in -short")
+	}
+	a := RunNegativeStudy(20, 160, 5)
+	b := MistralNegativeStudy(20, 160, 5)
+	// Different weight seeds → different per-sample scores somewhere.
+	diff := false
+	for i := range a.Baseline {
+		if a.Baseline[i].Score != b.Baseline[i].Score {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("family seed should change the evaluation")
+	}
+}
+
+func TestFormatAll(t *testing.T) {
+	out := FormatAll([]Figure{{Title: "x"}, {Title: "y"}})
+	if !strings.Contains(out, "# x") || !strings.Contains(out, "# y") {
+		t.Fatalf("format all: %q", out)
+	}
+}

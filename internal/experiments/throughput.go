@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/perf"
+)
+
+// ThroughputConfig selects the hardware/model under test; the zero value is
+// filled with the paper's main setting (LLaMA-7B on A6000).
+type ThroughputConfig struct {
+	HW    gpu.Hardware
+	Model model.Config
+}
+
+func (c ThroughputConfig) filled() ThroughputConfig {
+	if c.HW.Name == "" {
+		c.HW = gpu.A6000
+	}
+	if c.Model.Name == "" {
+		c.Model = model.LLaMA2_7B
+	}
+	return c
+}
+
+func (c ThroughputConfig) est(eng engine.Profile, method string, tp int) *perf.Estimator {
+	return perf.MustNew(c.HW, c.Model, eng, compress.MustGet(method), tp)
+}
+
+// paperMethods is the method set of Figures 1-3 and Table 3.
+var paperMethods = []string{"fp16", "kivi-4", "gear-4", "h2o-512", "stream-512"}
+
+// Fig1EngineDecode reproduces Figure 1 (a-b): FP16 decode throughput across
+// TRL, TRL+FA, and LMDeploy, over batch sizes at a fixed KV length.
+func Fig1EngineDecode(cfg ThroughputConfig, kvLen int, batches []int) Figure {
+	cfg = cfg.filled()
+	f := Figure{
+		Title:  fmt.Sprintf("Fig1(a-b) decode throughput, %s, KV %d", cfg.Model.Name, kvLen),
+		XLabel: "batch", YLabel: "tokens/s",
+	}
+	for _, eng := range engine.All() {
+		est := cfg.est(eng, "fp16", 1)
+		s := Series{Label: eng.Name}
+		for _, b := range batches {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, est.DecodeThroughput(b, kvLen))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig1StreamSpeedup reproduces Figure 1 (c-d): StreamingLLM's decode
+// speedup over FP16 measured on TRL vs LMDeploy.
+func Fig1StreamSpeedup(cfg ThroughputConfig, kvLen int, batches []int) Figure {
+	cfg = cfg.filled()
+	f := Figure{
+		Title:  fmt.Sprintf("Fig1(c-d) StreamingLLM decode speedup, KV %d", kvLen),
+		XLabel: "batch", YLabel: "speedup vs FP16",
+	}
+	for _, eng := range []engine.Profile{engine.TRL, engine.LMDeploy} {
+		fp := cfg.est(eng, "fp16", 1)
+		st := cfg.est(eng, "stream-512", 1)
+		s := Series{Label: eng.Name}
+		for _, b := range batches {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, st.DecodeThroughput(b, kvLen)/fp.DecodeThroughput(b, kvLen))
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig1Prefill reproduces Figure 1 (e-h): prefill throughput per method.
+// Sweep either batch (fixed prompt) or prompt length (fixed batch).
+func Fig1Prefill(cfg ThroughputConfig, batches []int, promptLens []int) []Figure {
+	cfg = cfg.filled()
+	var figs []Figure
+	if len(batches) > 1 {
+		prompt := promptLens[0]
+		f := Figure{Title: fmt.Sprintf("Fig1(e,g) prefill thr vs batch, prompt %d", prompt), XLabel: "batch", YLabel: "tokens/s"}
+		for _, m := range paperMethods {
+			est := cfg.est(engine.LMDeploy, m, 1)
+			s := Series{Label: compress.MustGet(m).Alias}
+			for _, b := range batches {
+				s.X = append(s.X, float64(b))
+				s.Y = append(s.Y, est.PrefillThroughput(b, prompt))
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	if len(promptLens) > 1 {
+		f := Figure{Title: "Fig1(f,h) prefill thr vs prompt length, batch 1", XLabel: "prompt", YLabel: "tokens/s"}
+		for _, m := range paperMethods {
+			est := cfg.est(engine.LMDeploy, m, 1)
+			s := Series{Label: compress.MustGet(m).Alias}
+			for _, p := range promptLens {
+				s.X = append(s.X, float64(p))
+				s.Y = append(s.Y, est.PrefillThroughput(1, p))
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// Fig1Decode reproduces Figure 1 (i-l): decode throughput per method, with
+// OOM detection at heavy settings (quant methods vanish at KV 8192).
+func Fig1Decode(cfg ThroughputConfig, batches []int, kvLens []int) []Figure {
+	cfg = cfg.filled()
+	var figs []Figure
+	if len(batches) > 1 {
+		kv := kvLens[0]
+		f := Figure{Title: fmt.Sprintf("Fig1(i,k) decode thr vs batch, KV %d", kv), XLabel: "batch", YLabel: "tokens/s"}
+		for _, m := range paperMethods {
+			est := cfg.est(engine.LMDeploy, m, 1)
+			s := Series{Label: compress.MustGet(m).Alias}
+			for _, b := range batches {
+				s.X = append(s.X, float64(b))
+				if !est.Fits(b, kv) {
+					s.Y = append(s.Y, 0) // OOM
+					continue
+				}
+				s.Y = append(s.Y, est.DecodeThroughput(b, kv))
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	if len(kvLens) > 1 {
+		f := Figure{Title: "Fig1(j,l) decode thr vs KV length, batch 1", XLabel: "kv", YLabel: "tokens/s"}
+		for _, m := range paperMethods {
+			est := cfg.est(engine.LMDeploy, m, 1)
+			s := Series{Label: compress.MustGet(m).Alias}
+			for _, kv := range kvLens {
+				s.X = append(s.X, float64(kv))
+				if !est.Fits(1, kv) {
+					s.Y = append(s.Y, 0)
+					continue
+				}
+				s.Y = append(s.Y, est.DecodeThroughput(1, kv))
+			}
+			f.Series = append(f.Series, s)
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}
+
+// Fig2H800 reproduces Figure 2: LLaMA-70B on H800 (TP=2), prefill and
+// decode sweeps over prompt/KV length at batch 1.
+func Fig2H800(promptLens, kvLens []int) []Figure {
+	cfg := ThroughputConfig{HW: gpu.H800, Model: model.LLaMA2_70B}
+	pre := Figure{Title: "Fig2(a) LLaMA-70B on H800 prefill, batch 1", XLabel: "prompt", YLabel: "tokens/s"}
+	dec := Figure{Title: "Fig2(b) LLaMA-70B on H800 decode, batch 1", XLabel: "kv", YLabel: "tokens/s"}
+	for _, m := range paperMethods {
+		est := cfg.est(engine.LMDeploy, m, 2)
+		sp := Series{Label: compress.MustGet(m).Alias}
+		for _, p := range promptLens {
+			sp.X = append(sp.X, float64(p))
+			sp.Y = append(sp.Y, est.PrefillThroughput(1, p))
+		}
+		pre.Series = append(pre.Series, sp)
+		sd := Series{Label: compress.MustGet(m).Alias}
+		for _, kv := range kvLens {
+			sd.X = append(sd.X, float64(kv))
+			sd.Y = append(sd.Y, est.DecodeThroughput(1, kv))
+		}
+		dec.Series = append(dec.Series, sd)
+	}
+	return []Figure{pre, dec}
+}
+
+// Fig3AttentionTime reproduces Figure 3: attention-layer execution time per
+// method, for prefill (vs prompt length) and decode (cumulative over 1,024
+// generated tokens, vs starting KV length), batch 1.
+func Fig3AttentionTime(cfg ThroughputConfig, lens []int) []Figure {
+	cfg = cfg.filled()
+	pre := Figure{Title: "Fig3(a) prefill attention time, batch 1", XLabel: "prompt", YLabel: "seconds"}
+	dec := Figure{Title: "Fig3(b) decode attention time (1024 steps), batch 1", XLabel: "kv", YLabel: "seconds"}
+	for _, m := range paperMethods {
+		est := cfg.est(engine.LMDeploy, m, 1)
+		sp := Series{Label: compress.MustGet(m).Alias}
+		sd := Series{Label: compress.MustGet(m).Alias}
+		for _, l := range lens {
+			sp.X = append(sp.X, float64(l))
+			sp.Y = append(sp.Y, est.AttentionPrefillTime(1, l))
+			sd.X = append(sd.X, float64(l))
+			sd.Y = append(sd.Y, est.AttentionDecodeTimeCumulative(1, l, 1024))
+		}
+		pre.Series = append(pre.Series, sp)
+		dec.Series = append(dec.Series, sd)
+	}
+	return []Figure{pre, dec}
+}
+
+// Table3TP reproduces Table 3: relative prefill and decode speedups of each
+// method vs FP16 at TP = 1, 2, 4 (batch 4; prompt/KV 1024/2048 as in the
+// paper's synthetic setting).
+func Table3TP(cfg ThroughputConfig) Table {
+	cfg = cfg.filled()
+	t := Table{
+		Title:   fmt.Sprintf("Table 3: relative speedup under tensor parallelism (%s)", cfg.Model.Name),
+		Columns: []string{"FP16 (T/S)", "K-4", "G-4", "H2O", "Stream"},
+	}
+	for _, stage := range []string{"prefill", "decode"} {
+		for _, tp := range []int{1, 2, 4} {
+			fp := cfg.est(engine.LMDeploy, "fp16", tp)
+			var base float64
+			if stage == "prefill" {
+				base = fp.PrefillThroughput(4, 1024)
+			} else {
+				base = fp.DecodeThroughput(4, 2048)
+			}
+			row := TableRow{Label: fmt.Sprintf("%s TP=%d", stage, tp), Cells: []string{cell(base)}}
+			for _, m := range paperMethods[1:] {
+				est := cfg.est(engine.LMDeploy, m, tp)
+				var v float64
+				if stage == "prefill" {
+					v = est.PrefillThroughput(4, 1024) / base
+				} else {
+					v = est.DecodeThroughput(4, 2048) / base
+				}
+				row.Cells = append(row.Cells, speedupCell(v))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// AppendixTPFigures reproduces Figures 11-14: per-method throughput across
+// TP degrees for an arbitrary model, split into quant and sparse panels.
+func AppendixTPFigures(cfg ThroughputConfig, batches []int) []Figure {
+	cfg = cfg.filled()
+	var figs []Figure
+	for _, group := range [][]string{{"fp16", "kivi-4", "gear-4"}, {"fp16", "h2o-512", "stream-512"}} {
+		f := Figure{
+			Title:  fmt.Sprintf("Fig11-14 decode thr vs batch (%s), TP sweep: %v", cfg.Model.Name, group[1:]),
+			XLabel: "batch", YLabel: "tokens/s",
+		}
+		for _, tp := range []int{1, 2, 4} {
+			for _, m := range group {
+				est := cfg.est(engine.LMDeploy, m, tp)
+				s := Series{Label: fmt.Sprintf("%s-TP%d", compress.MustGet(m).Alias, tp)}
+				for _, b := range batches {
+					s.X = append(s.X, float64(b))
+					s.Y = append(s.Y, est.DecodeThroughput(b, 1024))
+				}
+				f.Series = append(f.Series, s)
+			}
+		}
+		figs = append(figs, f)
+	}
+	return figs
+}

@@ -1,0 +1,164 @@
+// Package kvcache defines the KV cache abstraction shared by the tiny
+// transformer (internal/model) and the compression methods (internal/quant,
+// internal/sparse), plus a full-precision reference implementation and a
+// PagedAttention-style block allocator.
+//
+// Layout: entries are stored per (layer, kv-head) as lists of per-token
+// vectors. Rotary position embeddings are applied to keys *before* caching,
+// matching the layout used by LLaMA-family inference engines. Eviction-based
+// caches may retain different token subsets per head, so all read paths are
+// addressed by (layer, head).
+package kvcache
+
+import "fmt"
+
+// Shape describes the dimensions a cache must hold.
+type Shape struct {
+	Layers  int // number of transformer layers
+	KVHeads int // number of key/value heads per layer
+	HeadDim int // per-head embedding dimension
+}
+
+// Validate returns an error if any dimension is non-positive.
+func (s Shape) Validate() error {
+	if s.Layers <= 0 || s.KVHeads <= 0 || s.HeadDim <= 0 {
+		return fmt.Errorf("kvcache: invalid shape %+v", s)
+	}
+	return nil
+}
+
+// BytesPerElemFP16 is the storage cost of one cache element in the FP16
+// baseline; memory accounting throughout the repository is in FP16-equivalent
+// bytes so that compression ratios match the paper's reporting.
+const BytesPerElemFP16 = 2
+
+// Cache is the interface the model's attention layers read and write.
+//
+// Append stores the (RoPE'd) key and value vectors for the next token of a
+// layer; k and v each hold KVHeads vectors of length HeadDim. Seq returns
+// the retained entries for one head in storage order: compressed caches
+// return dequantised or pruned views here, which is what makes the accuracy
+// effects of compression real rather than modelled. Positions returns the
+// absolute position of each retained entry, aligned with Seq.
+type Cache interface {
+	Shape() Shape
+	Append(layer int, k, v [][]float32)
+	Seq(layer, head int) (keys, values [][]float32)
+	Positions(layer, head int) []int
+	// Len reports the number of retained entries for one head.
+	Len(layer, head int) int
+	// TotalAppended reports how many tokens have ever been appended
+	// (identical across heads and layers).
+	TotalAppended() int
+	// MemoryBytes reports current resident size in FP16-equivalent bytes.
+	MemoryBytes() int64
+}
+
+// AttentionObserver is implemented by caches whose eviction policy consumes
+// attention scores (e.g. H2O). After computing attention for a step, the
+// model forwards the weights (aligned with the entries returned by Seq).
+type AttentionObserver interface {
+	ObserveAttention(layer, head int, weights []float32)
+}
+
+// Full is the uncompressed FP16-baseline cache: every appended token is
+// retained in full precision for every head.
+type Full struct {
+	shape    Shape
+	keys     [][][]float32 // [layer][token][KVHeads*HeadDim]
+	values   [][][]float32
+	appended int
+}
+
+// NewFull allocates an empty full-precision cache. It panics on an invalid
+// shape.
+func NewFull(shape Shape) *Full {
+	if err := shape.Validate(); err != nil {
+		panic(err)
+	}
+	return &Full{
+		shape:  shape,
+		keys:   make([][][]float32, shape.Layers),
+		values: make([][][]float32, shape.Layers),
+	}
+}
+
+// Shape returns the cache dimensions.
+func (c *Full) Shape() Shape { return c.shape }
+
+// Append stores one token's K/V for the given layer.
+func (c *Full) Append(layer int, k, v [][]float32) {
+	c.checkAppend(layer, k, v)
+	flat := func(heads [][]float32) []float32 {
+		out := make([]float32, 0, c.shape.KVHeads*c.shape.HeadDim)
+		for _, h := range heads {
+			out = append(out, h...)
+		}
+		return out
+	}
+	c.keys[layer] = append(c.keys[layer], flat(k))
+	c.values[layer] = append(c.values[layer], flat(v))
+	if layer == c.shape.Layers-1 {
+		c.appended++
+	}
+}
+
+func (c *Full) checkAppend(layer int, k, v [][]float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic(fmt.Sprintf("kvcache: layer %d out of range", layer))
+	}
+	if len(k) != c.shape.KVHeads || len(v) != c.shape.KVHeads {
+		panic("kvcache: head count mismatch on append")
+	}
+	for h := 0; h < c.shape.KVHeads; h++ {
+		if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
+			panic("kvcache: head dim mismatch on append")
+		}
+	}
+}
+
+// Seq returns views of the retained keys and values for one head.
+func (c *Full) Seq(layer, head int) (keys, values [][]float32) {
+	d := c.shape.HeadDim
+	off := head * d
+	n := len(c.keys[layer])
+	keys = make([][]float32, n)
+	values = make([][]float32, n)
+	for i := 0; i < n; i++ {
+		keys[i] = c.keys[layer][i][off : off+d]
+		values[i] = c.values[layer][i][off : off+d]
+	}
+	return keys, values
+}
+
+// Positions returns 0..n-1: the full cache retains every position.
+func (c *Full) Positions(layer, head int) []int {
+	n := len(c.keys[layer])
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+// Len reports the retained entry count for a head (uniform for Full).
+func (c *Full) Len(layer, head int) int { return len(c.keys[layer]) }
+
+// TotalAppended reports how many tokens have been appended.
+func (c *Full) TotalAppended() int { return c.appended }
+
+// MemoryBytes reports resident size in FP16-equivalent bytes.
+func (c *Full) MemoryBytes() int64 {
+	var elems int64
+	for l := range c.keys {
+		elems += int64(len(c.keys[l])) * int64(c.shape.KVHeads*c.shape.HeadDim) * 2 // K and V
+	}
+	return elems * BytesPerElemFP16
+}
+
+// FP16Bytes returns the FP16 footprint of a cache holding tokens tokens for
+// the given shape — the baseline against which compression ratios are
+// computed.
+func FP16Bytes(shape Shape, tokens int) int64 {
+	return int64(tokens) * int64(shape.Layers) * int64(shape.KVHeads) * int64(shape.HeadDim) * 2 * BytesPerElemFP16
+}

@@ -1,0 +1,298 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rethinkkv/internal/rng"
+)
+
+func testShape() Shape { return Shape{Layers: 2, KVHeads: 2, HeadDim: 4} }
+
+func randToken(r *rng.RNG, s Shape) (k, v [][]float32) {
+	k = make([][]float32, s.KVHeads)
+	v = make([][]float32, s.KVHeads)
+	for h := 0; h < s.KVHeads; h++ {
+		k[h] = make([]float32, s.HeadDim)
+		v[h] = make([]float32, s.HeadDim)
+		for d := 0; d < s.HeadDim; d++ {
+			k[h][d] = float32(r.NormFloat64())
+			v[h][d] = float32(r.NormFloat64())
+		}
+	}
+	return k, v
+}
+
+func fillCache(t *testing.T, c Cache, n int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	s := c.Shape()
+	for i := 0; i < n; i++ {
+		for l := 0; l < s.Layers; l++ {
+			k, v := randToken(r, s)
+			c.Append(l, k, v)
+		}
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	if err := testShape().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Shape{Layers: 0, KVHeads: 1, HeadDim: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero layers")
+	}
+}
+
+func TestFullRoundTrip(t *testing.T) {
+	s := testShape()
+	c := NewFull(s)
+	r := rng.New(1)
+	var wantK [][]float32
+	for i := 0; i < 5; i++ {
+		k, v := randToken(r, s)
+		wantK = append(wantK, append([]float32(nil), k[1]...))
+		c.Append(0, k, v)
+		k2, v2 := randToken(r, s)
+		c.Append(1, k2, v2)
+	}
+	if c.TotalAppended() != 5 {
+		t.Fatalf("appended = %d", c.TotalAppended())
+	}
+	keys, vals := c.Seq(0, 1)
+	if len(keys) != 5 || len(vals) != 5 {
+		t.Fatalf("seq lengths %d, %d", len(keys), len(vals))
+	}
+	for i := range keys {
+		for d := 0; d < s.HeadDim; d++ {
+			if keys[i][d] != wantK[i][d] {
+				t.Fatalf("key mismatch at token %d dim %d", i, d)
+			}
+		}
+	}
+	pos := c.Positions(0, 1)
+	for i, p := range pos {
+		if p != i {
+			t.Fatalf("positions = %v", pos)
+		}
+	}
+}
+
+func TestFullMemoryBytes(t *testing.T) {
+	s := testShape()
+	c := NewFull(s)
+	fillCache(t, c, 10, 2)
+	// 10 tokens × 2 layers × 2 heads × 4 dims × 2 (K and V) × 2 bytes.
+	want := int64(10 * 2 * 2 * 4 * 2 * 2)
+	if got := c.MemoryBytes(); got != want {
+		t.Fatalf("memory = %d, want %d", got, want)
+	}
+	if got := FP16Bytes(s, 10); got != want {
+		t.Fatalf("FP16Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestFullAppendValidation(t *testing.T) {
+	c := NewFull(testShape())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong head count")
+		}
+	}()
+	c.Append(0, [][]float32{{1, 2, 3, 4}}, [][]float32{{1, 2, 3, 4}})
+}
+
+func TestFullLayerRange(t *testing.T) {
+	c := NewFull(testShape())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad layer")
+		}
+	}()
+	k := [][]float32{{0, 0, 0, 0}, {0, 0, 0, 0}}
+	c.Append(5, k, k)
+}
+
+func TestPagedGrowShrink(t *testing.T) {
+	p := NewPagedAllocator(10, 4, 100)
+	if err := p.Grow(1, 6); err != nil { // needs 2 blocks
+		t.Fatal(err)
+	}
+	if p.UsedBlocks() != 2 || p.FreeBlocks() != 8 {
+		t.Fatalf("used=%d free=%d", p.UsedBlocks(), p.FreeBlocks())
+	}
+	if err := p.Grow(1, 7); err != nil { // still 2 blocks
+		t.Fatal(err)
+	}
+	if p.UsedBlocks() != 2 {
+		t.Fatalf("used=%d after in-block growth", p.UsedBlocks())
+	}
+	if err := p.Grow(1, 9); err != nil { // 3 blocks
+		t.Fatal(err)
+	}
+	if p.UsedBlocks() != 3 {
+		t.Fatalf("used=%d", p.UsedBlocks())
+	}
+	if err := p.Shrink(1, 4); err != nil { // back to 1 block
+		t.Fatal(err)
+	}
+	if p.UsedBlocks() != 1 || p.SeqLen(1) != 4 {
+		t.Fatalf("used=%d len=%d after shrink", p.UsedBlocks(), p.SeqLen(1))
+	}
+	p.Release(1)
+	if p.UsedBlocks() != 0 || p.SeqLen(1) != 0 {
+		t.Fatal("release did not clean up")
+	}
+}
+
+func TestPagedOutOfBlocks(t *testing.T) {
+	p := NewPagedAllocator(2, 4, 100)
+	if err := p.Grow(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Grow(2, 1)
+	if err != ErrOutOfBlocks {
+		t.Fatalf("err = %v, want ErrOutOfBlocks", err)
+	}
+	// All-or-nothing: failed grow leaves no partial allocation.
+	if p.SeqLen(2) != 0 || len(p.BlockTable(2)) != 0 {
+		t.Fatal("failed grow leaked state")
+	}
+}
+
+func TestPagedGrowBelowCurrent(t *testing.T) {
+	p := NewPagedAllocator(4, 4, 100)
+	if err := p.Grow(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Grow(1, 4); err == nil {
+		t.Fatal("Grow below current length should error")
+	}
+	if err := p.Shrink(1, 12); err == nil {
+		t.Fatal("Shrink above current length should error")
+	}
+	if err := p.Shrink(99, 0); err == nil {
+		t.Fatal("Shrink of unknown sequence should error")
+	}
+}
+
+func TestPagedUtilization(t *testing.T) {
+	p := NewPagedAllocator(10, 4, 100)
+	if u := p.Utilization(); u != 1 {
+		t.Fatalf("empty utilization = %v", u)
+	}
+	p.Grow(1, 1) // 1 token in a 4-slot block
+	if u := p.Utilization(); u != 0.25 {
+		t.Fatalf("utilization = %v", u)
+	}
+	p.Grow(1, 4)
+	if u := p.Utilization(); u != 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestPagedSequencesAndBytes(t *testing.T) {
+	p := NewPagedAllocator(10, 2, 50)
+	p.Grow(3, 2)
+	p.Grow(1, 2)
+	ids := p.Sequences()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("sequences = %v", ids)
+	}
+	if b := p.UsedBytes(); b != 2*2*50 {
+		t.Fatalf("used bytes = %d", b)
+	}
+}
+
+// Property: blocks are conserved — used + free == total, and no block is in
+// two tables at once.
+func TestQuickPagedInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPagedAllocator(32, 4, 10)
+		for _, op := range ops {
+			seq := int(op>>8) % 4
+			n := int(op & 0xff % 64)
+			switch op % 3 {
+			case 0:
+				if n >= p.SeqLen(seq) {
+					_ = p.Grow(seq, n)
+				}
+			case 1:
+				if n <= p.SeqLen(seq) {
+					_ = p.Shrink(seq, n)
+				}
+			case 2:
+				p.Release(seq)
+			}
+		}
+		if p.UsedBlocks()+p.FreeBlocks() != 32 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, id := range p.Sequences() {
+			for _, b := range p.BlockTable(id) {
+				if seen[b] || b < 0 || b >= 32 {
+					return false
+				}
+				seen[b] = true
+			}
+		}
+		for _, b := range p.freeList {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return len(seen) == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualPoolPaged(t *testing.T) {
+	d := NewDualPoolPaged(40, 4, 8, 100, 25)
+	if err := d.Grow(1, 4); err != nil { // entirely in the residual window
+		t.Fatal(err)
+	}
+	if d.QuantPool.SeqLen(1) != 0 {
+		t.Fatal("short sequence should not touch quant pool")
+	}
+	if err := d.Grow(1, 20); err != nil { // 8 full + 12 quantised
+		t.Fatal(err)
+	}
+	if d.FullPool.SeqLen(1) != 8 {
+		t.Fatalf("full pool len = %d", d.FullPool.SeqLen(1))
+	}
+	if d.QuantPool.SeqLen(1) != 12 {
+		t.Fatalf("quant pool len = %d", d.QuantPool.SeqLen(1))
+	}
+	if d.TableOps() == 0 {
+		t.Fatal("table ops not counted")
+	}
+	d.Release(1)
+	if d.FullPool.UsedBlocks() != 0 || d.QuantPool.UsedBlocks() != 0 {
+		t.Fatal("release did not free both pools")
+	}
+}
+
+func TestDualPoolMoreTableOpsThanSingle(t *testing.T) {
+	// The dual-pool layout must pay more block-table maintenance than a
+	// single pool for the same token stream — the deployment-complexity
+	// claim from the paper's survey (Section 3.1.1).
+	single := NewPagedAllocator(64, 4, 100)
+	dual := NewDualPoolPaged(64, 4, 8, 100, 25)
+	for n := 1; n <= 40; n++ {
+		if err := single.Grow(1, n); err != nil {
+			t.Fatal(err)
+		}
+		if err := dual.Grow(1, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sf := single.Ops()
+	if dual.TableOps() <= sa+sf {
+		t.Fatalf("dual pool ops %d should exceed single pool ops %d", dual.TableOps(), sa+sf)
+	}
+}

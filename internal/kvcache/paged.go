@@ -1,0 +1,243 @@
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PagedAllocator emulates vLLM/LMDeploy-style paged KV cache management: GPU
+// memory is carved into fixed-size blocks of token slots, and each sequence
+// owns a block table that grows on demand. It is the substrate for the
+// serving simulator's admission control and for the paper's discussion of
+// why sparsity-based compression (fluctuating sequence lengths) and
+// window-based quantisation (two tensor pools) complicate paged management.
+type PagedAllocator struct {
+	blockSize   int // token slots per block
+	totalBlocks int
+	freeList    []int
+	tables      map[int][]int // sequence id -> block ids
+	lengths     map[int]int   // sequence id -> token count
+	// bytesPerToken is the FP16-equivalent KV footprint of one token slot.
+	bytesPerToken int64
+	allocOps      int
+	freeOps       int
+}
+
+// NewPagedAllocator builds an allocator with the given geometry.
+// bytesPerToken is the per-token KV footprint (all layers and heads).
+// It panics on non-positive parameters.
+func NewPagedAllocator(totalBlocks, blockSize int, bytesPerToken int64) *PagedAllocator {
+	if totalBlocks <= 0 || blockSize <= 0 || bytesPerToken <= 0 {
+		panic("kvcache: invalid paged allocator geometry")
+	}
+	free := make([]int, totalBlocks)
+	for i := range free {
+		free[i] = i
+	}
+	return &PagedAllocator{
+		blockSize:     blockSize,
+		totalBlocks:   totalBlocks,
+		freeList:      free,
+		tables:        make(map[int][]int),
+		lengths:       make(map[int]int),
+		bytesPerToken: bytesPerToken,
+	}
+}
+
+// BlockSize returns the token slots per block.
+func (p *PagedAllocator) BlockSize() int { return p.blockSize }
+
+// FreeBlocks returns the number of unallocated blocks.
+func (p *PagedAllocator) FreeBlocks() int { return len(p.freeList) }
+
+// UsedBlocks returns the number of allocated blocks.
+func (p *PagedAllocator) UsedBlocks() int { return p.totalBlocks - len(p.freeList) }
+
+// ErrOutOfBlocks is returned when an allocation cannot be satisfied; callers
+// (the serving simulator) treat it as the GPU-out-of-memory condition the
+// paper observes for quantisation methods at KV length 8192 (Figure 1 l).
+var ErrOutOfBlocks = fmt.Errorf("kvcache: out of free blocks")
+
+// blocksFor returns the block count needed to hold n tokens.
+func (p *PagedAllocator) blocksFor(n int) int {
+	return (n + p.blockSize - 1) / p.blockSize
+}
+
+// Grow extends sequence seq to newLen tokens, allocating blocks on demand.
+// Growth is all-or-nothing: on ErrOutOfBlocks the sequence is unchanged.
+func (p *PagedAllocator) Grow(seq, newLen int) error {
+	cur := p.lengths[seq]
+	if newLen < cur {
+		return fmt.Errorf("kvcache: Grow to %d below current length %d (use Shrink)", newLen, cur)
+	}
+	need := p.blocksFor(newLen) - len(p.tables[seq])
+	if need > len(p.freeList) {
+		return ErrOutOfBlocks
+	}
+	for i := 0; i < need; i++ {
+		b := p.freeList[len(p.freeList)-1]
+		p.freeList = p.freeList[:len(p.freeList)-1]
+		p.tables[seq] = append(p.tables[seq], b)
+		p.allocOps++
+	}
+	p.lengths[seq] = newLen
+	return nil
+}
+
+// Shrink reduces sequence seq to newLen tokens, releasing now-empty blocks.
+// Sparsity-based eviction uses this path; the released tail blocks return to
+// the free list but interior fragmentation within the last block remains,
+// which is exactly the management complexity the paper calls out.
+func (p *PagedAllocator) Shrink(seq, newLen int) error {
+	cur, ok := p.lengths[seq]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", seq)
+	}
+	if newLen > cur {
+		return fmt.Errorf("kvcache: Shrink to %d above current length %d", newLen, cur)
+	}
+	if newLen < 0 {
+		newLen = 0
+	}
+	keep := p.blocksFor(newLen)
+	table := p.tables[seq]
+	for i := keep; i < len(table); i++ {
+		p.freeList = append(p.freeList, table[i])
+		p.freeOps++
+	}
+	p.tables[seq] = table[:keep]
+	p.lengths[seq] = newLen
+	return nil
+}
+
+// Release frees every block owned by sequence seq.
+func (p *PagedAllocator) Release(seq int) {
+	for _, b := range p.tables[seq] {
+		p.freeList = append(p.freeList, b)
+		p.freeOps++
+	}
+	delete(p.tables, seq)
+	delete(p.lengths, seq)
+}
+
+// SeqLen returns the current token length of a sequence (0 if unknown).
+func (p *PagedAllocator) SeqLen(seq int) int { return p.lengths[seq] }
+
+// BlockTable returns a copy of the sequence's block table.
+func (p *PagedAllocator) BlockTable(seq int) []int {
+	return append([]int(nil), p.tables[seq]...)
+}
+
+// Sequences returns the ids of live sequences in ascending order.
+func (p *PagedAllocator) Sequences() []int {
+	ids := make([]int, 0, len(p.tables))
+	for id := range p.tables {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Utilization returns the fraction of allocated token slots actually holding
+// tokens — 1 minus internal fragmentation.
+func (p *PagedAllocator) Utilization() float64 {
+	used := p.UsedBlocks() * p.blockSize
+	if used == 0 {
+		return 1
+	}
+	tokens := 0
+	for _, n := range p.lengths {
+		tokens += n
+	}
+	return float64(tokens) / float64(used)
+}
+
+// UsedBytes returns the FP16-equivalent bytes of allocated blocks.
+func (p *PagedAllocator) UsedBytes() int64 {
+	return int64(p.UsedBlocks()) * int64(p.blockSize) * p.bytesPerToken
+}
+
+// Ops returns the cumulative allocate and free operation counts; the cost
+// model charges block-table maintenance overhead proportional to these,
+// which is how sparsity's fluctuating lengths surface as paged-management
+// cost.
+func (p *PagedAllocator) Ops() (allocs, frees int) { return p.allocOps, p.freeOps }
+
+// DualPoolPaged models the paged layout that window-based quantisation
+// (KIVI, GEAR) forces on an engine: a full-precision pool for the residual
+// window and a quantised pool for the rest. The paper's survey argues this
+// dual-pool structure is what "increases the deployment complexity" — here
+// it concretely doubles block-table maintenance and lowers utilization.
+type DualPoolPaged struct {
+	FullPool  *PagedAllocator
+	QuantPool *PagedAllocator
+	// ResidualWindow is the number of most-recent tokens kept in the
+	// full-precision pool.
+	ResidualWindow int
+	// migrations counts tokens that crossed from the full-precision pool
+	// to the quantised pool; each crossing is a quantise-and-copy that a
+	// single-pool layout never pays.
+	migrations int
+}
+
+// NewDualPoolPaged splits totalBlocks between a full-precision pool and a
+// quantised pool. quantBytesPerToken reflects the compressed footprint.
+func NewDualPoolPaged(totalBlocks, blockSize, residualWindow int, fullBytesPerToken, quantBytesPerToken int64) *DualPoolPaged {
+	fullBlocks := totalBlocks / 4
+	if fullBlocks < 1 {
+		fullBlocks = 1
+	}
+	return &DualPoolPaged{
+		FullPool:       NewPagedAllocator(fullBlocks, blockSize, fullBytesPerToken),
+		QuantPool:      NewPagedAllocator(totalBlocks-fullBlocks, blockSize, quantBytesPerToken),
+		ResidualWindow: residualWindow,
+	}
+}
+
+// Grow extends a sequence across both pools: the most recent ResidualWindow
+// tokens live in the full pool, everything older in the quantised pool.
+func (d *DualPoolPaged) Grow(seq, newLen int) error {
+	fullLen := newLen
+	if fullLen > d.ResidualWindow {
+		fullLen = d.ResidualWindow
+	}
+	quantLen := newLen - fullLen
+	prevFull := d.FullPool.SeqLen(seq)
+	prevQuant := d.QuantPool.SeqLen(seq)
+	if err := d.FullPool.Grow(seq, maxInt(prevFull, fullLen)); err != nil {
+		return err
+	}
+	if quantLen > 0 {
+		if err := d.QuantPool.Grow(seq, quantLen); err != nil {
+			return err
+		}
+	}
+	// Every token that left the residual window was quantised and copied
+	// across pools.
+	d.migrations += quantLen - prevQuant
+	return nil
+}
+
+// Migrations returns the number of full→quant pool token crossings.
+func (d *DualPoolPaged) Migrations() int { return d.migrations }
+
+// Release frees the sequence from both pools.
+func (d *DualPoolPaged) Release(seq int) {
+	d.FullPool.Release(seq)
+	d.QuantPool.Release(seq)
+}
+
+// TableOps returns combined block-table maintenance operations across pools,
+// including cross-pool token migrations.
+func (d *DualPoolPaged) TableOps() int {
+	a1, f1 := d.FullPool.Ops()
+	a2, f2 := d.QuantPool.Ops()
+	return a1 + f1 + a2 + f2 + d.migrations
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package kvcache
+
+import "fmt"
+
+// Prefix sharing: vLLM-style copy-on-write block sharing between sequences
+// with a common prompt prefix (e.g. the same system prompt). Shared blocks
+// carry reference counts; a sequence that grows into a shared tail block
+// first copies it. This is the paged substrate's second major feature next
+// to on-demand growth, and the reason sparsity's fluctuating lengths are
+// awkward: shrinking a shared sequence must not free blocks other
+// sequences still reference.
+
+// SharingAllocator wraps PagedAllocator bookkeeping with reference counts.
+type SharingAllocator struct {
+	inner *PagedAllocator
+	// refs counts owners per block id (1 for exclusively-owned).
+	refs map[int]int
+	// cowCopies counts copy-on-write events, charged by the cost model.
+	cowCopies int
+}
+
+// NewSharing builds a sharing allocator over a fresh paged allocator.
+func NewSharing(totalBlocks, blockSize int, bytesPerToken int64) *SharingAllocator {
+	return &SharingAllocator{
+		inner: NewPagedAllocator(totalBlocks, blockSize, bytesPerToken),
+		refs:  map[int]int{},
+	}
+}
+
+// Inner exposes the underlying allocator for inspection.
+func (s *SharingAllocator) Inner() *PagedAllocator { return s.inner }
+
+// Grow extends a sequence, copy-on-writing its last block first if shared.
+func (s *SharingAllocator) Grow(seq, newLen int) error {
+	cur := s.inner.SeqLen(seq)
+	if newLen <= cur {
+		if newLen < cur {
+			return fmt.Errorf("kvcache: Grow below current length")
+		}
+		return nil
+	}
+	// If growth writes into the (partial) last block and that block is
+	// shared, copy it first.
+	table := s.inner.tables[seq]
+	if len(table) > 0 && cur%s.inner.blockSize != 0 {
+		last := table[len(table)-1]
+		if s.refs[last] > 1 {
+			if err := s.copyBlock(seq, len(table)-1); err != nil {
+				return err
+			}
+		}
+	}
+	before := len(s.inner.tables[seq])
+	if err := s.inner.Grow(seq, newLen); err != nil {
+		return err
+	}
+	for _, b := range s.inner.tables[seq][before:] {
+		s.refs[b] = 1
+	}
+	return nil
+}
+
+// copyBlock replaces table[idx] of seq with a fresh exclusive block.
+func (s *SharingAllocator) copyBlock(seq, idx int) error {
+	if len(s.inner.freeList) == 0 {
+		return ErrOutOfBlocks
+	}
+	old := s.inner.tables[seq][idx]
+	fresh := s.inner.freeList[len(s.inner.freeList)-1]
+	s.inner.freeList = s.inner.freeList[:len(s.inner.freeList)-1]
+	s.inner.tables[seq][idx] = fresh
+	s.refs[old]--
+	s.refs[fresh] = 1
+	s.cowCopies++
+	s.inner.allocOps++
+	return nil
+}
+
+// Fork creates child as a copy of parent's sequence sharing every block.
+func (s *SharingAllocator) Fork(parent, child int) error {
+	if _, ok := s.inner.lengths[parent]; !ok {
+		return fmt.Errorf("kvcache: unknown parent %d", parent)
+	}
+	if _, exists := s.inner.lengths[child]; exists {
+		return fmt.Errorf("kvcache: child %d already exists", child)
+	}
+	table := append([]int(nil), s.inner.tables[parent]...)
+	s.inner.tables[child] = table
+	s.inner.lengths[child] = s.inner.lengths[parent]
+	for _, b := range table {
+		s.refs[b]++
+	}
+	return nil
+}
+
+// Release drops a sequence, freeing only blocks whose refcount reaches zero.
+func (s *SharingAllocator) Release(seq int) {
+	for _, b := range s.inner.tables[seq] {
+		s.refs[b]--
+		if s.refs[b] <= 0 {
+			s.inner.freeList = append(s.inner.freeList, b)
+			s.inner.freeOps++
+			delete(s.refs, b)
+		}
+	}
+	delete(s.inner.tables, seq)
+	delete(s.inner.lengths, seq)
+}
+
+// Shrink reduces a sequence, releasing exclusively-owned tail blocks and
+// only dereferencing shared ones — the subtlety sparsity-based compression
+// forces onto paged engines.
+func (s *SharingAllocator) Shrink(seq, newLen int) error {
+	cur, ok := s.inner.lengths[seq]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", seq)
+	}
+	if newLen > cur {
+		return fmt.Errorf("kvcache: Shrink above current length")
+	}
+	keep := s.inner.blocksFor(newLen)
+	table := s.inner.tables[seq]
+	for i := keep; i < len(table); i++ {
+		b := table[i]
+		s.refs[b]--
+		if s.refs[b] <= 0 {
+			s.inner.freeList = append(s.inner.freeList, b)
+			s.inner.freeOps++
+			delete(s.refs, b)
+		}
+	}
+	s.inner.tables[seq] = table[:keep]
+	s.inner.lengths[seq] = newLen
+	return nil
+}
+
+// CoWCopies returns the number of copy-on-write events so far.
+func (s *SharingAllocator) CoWCopies() int { return s.cowCopies }
+
+// SharedBlocks returns how many blocks currently have more than one owner.
+func (s *SharingAllocator) SharedBlocks() int {
+	n := 0
+	for _, r := range s.refs {
+		if r > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SeqLen returns a sequence's token length.
+func (s *SharingAllocator) SeqLen(seq int) int { return s.inner.SeqLen(seq) }

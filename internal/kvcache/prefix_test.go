@@ -1,0 +1,160 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForkSharesBlocks(t *testing.T) {
+	s := NewSharing(16, 4, 10)
+	if err := s.Grow(1, 8); err != nil { // 2 blocks
+		t.Fatal(err)
+	}
+	used := s.Inner().UsedBlocks()
+	if err := s.Fork(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Inner().UsedBlocks() != used {
+		t.Fatal("fork should allocate nothing")
+	}
+	if s.SharedBlocks() != 2 {
+		t.Fatalf("shared blocks = %d", s.SharedBlocks())
+	}
+	if s.SeqLen(2) != 8 {
+		t.Fatalf("child len = %d", s.SeqLen(2))
+	}
+}
+
+func TestForkErrors(t *testing.T) {
+	s := NewSharing(8, 4, 10)
+	if err := s.Fork(9, 2); err == nil {
+		t.Fatal("unknown parent should error")
+	}
+	s.Grow(1, 4)
+	s.Fork(1, 2)
+	if err := s.Fork(1, 2); err == nil {
+		t.Fatal("existing child should error")
+	}
+}
+
+func TestCopyOnWriteOnSharedTail(t *testing.T) {
+	s := NewSharing(16, 4, 10)
+	s.Grow(1, 6) // partial last block (2 of 4 slots used)
+	s.Fork(1, 2)
+	// Child grows into the shared partial block → CoW.
+	if err := s.Grow(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if s.CoWCopies() != 1 {
+		t.Fatalf("cow copies = %d", s.CoWCopies())
+	}
+	// Parent and child now diverge: their last blocks differ.
+	p := s.Inner().BlockTable(1)
+	c := s.Inner().BlockTable(2)
+	if p[len(p)-1] == c[len(c)-1] {
+		t.Fatal("tail block still shared after CoW")
+	}
+	// The common prefix block remains shared.
+	if p[0] != c[0] {
+		t.Fatal("prefix block should stay shared")
+	}
+}
+
+func TestNoCoWOnBlockAlignedGrowth(t *testing.T) {
+	s := NewSharing(16, 4, 10)
+	s.Grow(1, 8) // exactly 2 full blocks
+	s.Fork(1, 2)
+	if err := s.Grow(2, 12); err != nil { // new block only
+		t.Fatal(err)
+	}
+	if s.CoWCopies() != 0 {
+		t.Fatal("block-aligned growth should not copy")
+	}
+}
+
+func TestReleaseRespectsRefcounts(t *testing.T) {
+	s := NewSharing(16, 4, 10)
+	s.Grow(1, 8)
+	s.Fork(1, 2)
+	s.Release(1)
+	// Blocks still owned by the child.
+	if s.Inner().UsedBlocks() != 2 {
+		t.Fatalf("used = %d after parent release", s.Inner().UsedBlocks())
+	}
+	s.Release(2)
+	if s.Inner().UsedBlocks() != 0 {
+		t.Fatal("blocks leaked after both released")
+	}
+}
+
+func TestSharedShrinkKeepsOthersSafe(t *testing.T) {
+	// The sparsity-on-paged subtlety: shrinking one sequence must not free
+	// blocks its sibling still reads.
+	s := NewSharing(16, 4, 10)
+	s.Grow(1, 12)
+	s.Fork(1, 2)
+	if err := s.Shrink(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Parent still intact at 12 tokens over 3 blocks.
+	if s.SeqLen(1) != 12 || len(s.Inner().BlockTable(1)) != 3 {
+		t.Fatal("sibling corrupted by shrink")
+	}
+	// No block was freed (all still referenced by parent).
+	if s.Inner().UsedBlocks() != 3 {
+		t.Fatalf("used = %d", s.Inner().UsedBlocks())
+	}
+}
+
+func TestCoWOutOfBlocks(t *testing.T) {
+	s := NewSharing(2, 4, 10)
+	s.Grow(1, 6) // both blocks used, last partial
+	s.Fork(1, 2)
+	if err := s.Grow(2, 7); err != ErrOutOfBlocks {
+		t.Fatalf("err = %v, want ErrOutOfBlocks", err)
+	}
+}
+
+// Property: refcount conservation — used blocks equal the blocks reachable
+// from live tables, and every table block has a positive refcount.
+func TestQuickSharingInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSharing(24, 4, 10)
+		s.Grow(0, 8)
+		nextChild := 1
+		for _, op := range ops {
+			seq := int(op>>8) % 4
+			n := int(op&0xff) % 32
+			switch op % 4 {
+			case 0:
+				if n >= s.SeqLen(seq) {
+					_ = s.Grow(seq, n)
+				}
+			case 1:
+				if n <= s.SeqLen(seq) && s.SeqLen(seq) > 0 {
+					_ = s.Shrink(seq, n)
+				}
+			case 2:
+				if s.SeqLen(seq) > 0 && nextChild < 4 {
+					_ = s.Fork(seq, nextChild)
+					nextChild++
+				}
+			case 3:
+				s.Release(seq)
+			}
+		}
+		reachable := map[int]bool{}
+		for _, id := range s.Inner().Sequences() {
+			for _, b := range s.Inner().BlockTable(id) {
+				if s.refs[b] <= 0 {
+					return false
+				}
+				reachable[b] = true
+			}
+		}
+		return len(reachable) == s.Inner().UsedBlocks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package model
+
+import (
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+)
+
+func BenchmarkPrefill256(b *testing.B) {
+	m := New(Tiny(), 1)
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % Tiny().Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prefill(prompt, kvcache.NewFull(m.CacheShape()))
+	}
+}
+
+func BenchmarkDecodeStep(b *testing.B) {
+	m := New(Tiny(), 1)
+	cache := kvcache.NewFull(m.CacheShape())
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % Tiny().Vocab
+	}
+	m.Prefill(prompt, cache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(i%Tiny().Vocab, 256+i, cache)
+	}
+}

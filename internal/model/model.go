@@ -1,0 +1,229 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/rng"
+	"rethinkkv/internal/tensor"
+)
+
+// layerWeights holds one transformer block's parameters.
+type layerWeights struct {
+	attnNorm []float32
+	wq       *tensor.Matrix // Hidden × Hidden
+	wk       *tensor.Matrix // Hidden × KVDim
+	wv       *tensor.Matrix // Hidden × KVDim
+	wo       *tensor.Matrix // Hidden × Hidden
+	ffnNorm  []float32
+	wGate    *tensor.Matrix // Hidden × FFNDim
+	wUp      *tensor.Matrix // Hidden × FFNDim
+	wDown    *tensor.Matrix // FFNDim × Hidden
+}
+
+// Model is a runnable tiny transformer with deterministic random weights.
+type Model struct {
+	cfg    Config
+	embed  *tensor.Matrix // Vocab × Hidden (tied with the LM head)
+	layers []layerWeights
+	norm   []float32
+}
+
+// New builds a model with weights drawn deterministically from seed, scaled
+// with 1/sqrt(fanIn) so activations stay well-conditioned.
+func New(cfg Config, seed uint64) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rng.New(seed)
+	randMat := func(rows, cols int) *tensor.Matrix {
+		m := tensor.NewMatrix(rows, cols)
+		scale := float32(1 / math.Sqrt(float64(rows)))
+		for i := range m.Data {
+			m.Data[i] = float32(r.NormFloat64()) * scale
+		}
+		return m
+	}
+	ones := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+	h := cfg.Hidden()
+	m := &Model{cfg: cfg, embed: randMat(cfg.Vocab, h), norm: ones(h)}
+	for l := 0; l < cfg.Layers; l++ {
+		m.layers = append(m.layers, layerWeights{
+			attnNorm: ones(h),
+			wq:       randMat(h, h),
+			wk:       randMat(h, cfg.KVDim()),
+			wv:       randMat(h, cfg.KVDim()),
+			wo:       randMat(h, h),
+			ffnNorm:  ones(h),
+			wGate:    randMat(h, cfg.FFNDim),
+			wUp:      randMat(h, cfg.FFNDim),
+			wDown:    randMat(cfg.FFNDim, h),
+		})
+	}
+	return m
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// CacheShape returns the KV cache shape this model requires.
+func (m *Model) CacheShape() kvcache.Shape {
+	return kvcache.Shape{Layers: m.cfg.Layers, KVHeads: m.cfg.KVHeads, HeadDim: m.cfg.HeadDim}
+}
+
+// StepResult reports one decode step's outputs.
+type StepResult struct {
+	Logits []float32
+	// Hidden is the final pre-logit hidden state, used by the accuracy
+	// package to measure representation drift under compression.
+	Hidden []float32
+}
+
+// Forward runs one token through the model at absolute position pos,
+// appending its KV to cache and attending over everything the cache
+// retains. It panics if token is out of vocabulary range.
+func (m *Model) Forward(token, pos int, cache kvcache.Cache) StepResult {
+	if token < 0 || token >= m.cfg.Vocab {
+		panic(fmt.Sprintf("model: token %d out of range", token))
+	}
+	if got, want := cache.Shape(), m.CacheShape(); got != want {
+		panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
+	}
+	h := append([]float32(nil), m.embed.Row(token)...)
+	observer, _ := cache.(kvcache.AttentionObserver)
+	cfg := m.cfg
+	hd := cfg.HeadDim
+	group := cfg.GroupSize()
+	invSqrt := float32(1 / math.Sqrt(float64(hd)))
+
+	for l := range m.layers {
+		lw := &m.layers[l]
+		x := tensor.RMSNorm(h, lw.attnNorm, 1e-5)
+		q := tensor.VecMat(x, lw.wq)
+		k := tensor.VecMat(x, lw.wk)
+		v := tensor.VecMat(x, lw.wv)
+
+		// Split into heads, apply RoPE to q and k.
+		kHeads := make([][]float32, cfg.KVHeads)
+		vHeads := make([][]float32, cfg.KVHeads)
+		for kh := 0; kh < cfg.KVHeads; kh++ {
+			kHeads[kh] = append([]float32(nil), k[kh*hd:(kh+1)*hd]...)
+			vHeads[kh] = append([]float32(nil), v[kh*hd:(kh+1)*hd]...)
+			tensor.ApplyRoPE(kHeads[kh], pos)
+		}
+		cache.Append(l, kHeads, vHeads)
+
+		attnOut := make([]float32, cfg.Hidden())
+		for qh := 0; qh < cfg.Heads; qh++ {
+			qv := append([]float32(nil), q[qh*hd:(qh+1)*hd]...)
+			tensor.ApplyRoPE(qv, pos)
+			kh := qh / group
+			keys, vals := cache.Seq(l, kh)
+			scores := make([]float32, len(keys))
+			for i, kv := range keys {
+				scores[i] = tensor.Dot(qv, kv) * invSqrt
+			}
+			tensor.Softmax(scores)
+			if observer != nil {
+				observer.ObserveAttention(l, kh, scores)
+			}
+			out := attnOut[qh*hd : (qh+1)*hd]
+			for i, w := range scores {
+				tensor.AXPY(out, w, vals[i])
+			}
+		}
+		proj := tensor.VecMat(attnOut, lw.wo)
+		tensor.AXPY(h, 1, proj)
+
+		// SiLU-gated FFN.
+		x = tensor.RMSNorm(h, lw.ffnNorm, 1e-5)
+		gate := tensor.VecMat(x, lw.wGate)
+		up := tensor.VecMat(x, lw.wUp)
+		tensor.SiLU(gate)
+		for i := range gate {
+			gate[i] *= up[i]
+		}
+		down := tensor.VecMat(gate, lw.wDown)
+		tensor.AXPY(h, 1, down)
+	}
+
+	final := tensor.RMSNorm(h, m.norm, 1e-5)
+	logits := tensor.MatVec(m.embed, final)
+	return StepResult{Logits: logits, Hidden: final}
+}
+
+// Prefill runs every prompt token through the model, filling the cache, and
+// returns the last step's result. It panics on an empty prompt.
+func (m *Model) Prefill(prompt []int, cache kvcache.Cache) StepResult {
+	if len(prompt) == 0 {
+		panic("model: empty prompt")
+	}
+	var res StepResult
+	for i, tok := range prompt {
+		res = m.Forward(tok, i, cache)
+	}
+	return res
+}
+
+// GenerateOptions controls Generate.
+type GenerateOptions struct {
+	MaxNewTokens int
+	Temperature  float64 // <= 0 means greedy
+	EOS          int     // token id that stops generation; negative disables
+	Seed         uint64  // sampling seed (ignored for greedy)
+}
+
+// GenerateResult reports the produced continuation.
+type GenerateResult struct {
+	Tokens []int
+	// Hiddens holds the final hidden state at every generated position.
+	Hiddens [][]float32
+}
+
+// Generate greedy- or temperature-samples a continuation after the prompt.
+func (m *Model) Generate(prompt []int, cache kvcache.Cache, opt GenerateOptions) GenerateResult {
+	res := m.Prefill(prompt, cache)
+	r := rng.New(opt.Seed)
+	var out GenerateResult
+	pos := len(prompt)
+	logits := res.Logits
+	hidden := res.Hidden
+	for step := 0; step < opt.MaxNewTokens; step++ {
+		var next int
+		if opt.Temperature <= 0 {
+			next = tensor.Argmax(logits)
+		} else {
+			probs := append([]float32(nil), logits...)
+			tensor.SoftmaxTemp(probs, opt.Temperature)
+			next = sampleCategorical(r, probs)
+		}
+		out.Tokens = append(out.Tokens, next)
+		out.Hiddens = append(out.Hiddens, hidden)
+		if opt.EOS >= 0 && next == opt.EOS {
+			break
+		}
+		sr := m.Forward(next, pos, cache)
+		logits, hidden = sr.Logits, sr.Hidden
+		pos++
+	}
+	return out
+}
+
+func sampleCategorical(r *rng.RNG, probs []float32) int {
+	u := float32(r.Float64())
+	var acc float32
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

@@ -1,0 +1,209 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Tiny()
+	bad.KVHeads = 3 // 4 % 3 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected GQA divisibility error")
+	}
+	odd := Tiny()
+	odd.HeadDim = 15
+	if err := odd.Validate(); err == nil {
+		t.Fatal("expected even head dim error")
+	}
+}
+
+func TestFullSizeDescriptors(t *testing.T) {
+	cases := []struct {
+		cfg         Config
+		wantHidden  int
+		wantParamsB float64 // rough parameter count in billions
+	}{
+		{LLaMA2_7B, 4096, 6.7},
+		{LLaMA2_13B, 5120, 13.0},
+		{LLaMA2_70B, 8192, 69},
+		{Mistral7B, 4096, 7.2},
+		{LLaMA31_8B, 4096, 8.0},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		if c.cfg.Hidden() != c.wantHidden {
+			t.Fatalf("%s hidden = %d", c.cfg.Name, c.cfg.Hidden())
+		}
+		gotB := float64(c.cfg.ParamCount()) / 1e9
+		if gotB < c.wantParamsB*0.8 || gotB > c.wantParamsB*1.25 {
+			t.Fatalf("%s params = %.2fB, want ≈%.1fB", c.cfg.Name, gotB, c.wantParamsB)
+		}
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// LLaMA-2-7B: 32 layers × 4096 kv dim × 2 (K,V) × 2 bytes = 1 MiB/token.
+	got := LLaMA2_7B.KVBytesPerTokenFP16()
+	if got != 32*4096*2*2 {
+		t.Fatalf("kv bytes per token = %d", got)
+	}
+	// GQA shrinks it: 70B has only 8 KV heads.
+	if LLaMA2_70B.KVBytesPerTokenFP16() >= LLaMA2_13B.KVBytesPerTokenFP16()*4 {
+		t.Fatal("GQA should bound 70B KV growth")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if c, ok := ByName("mistral-7b"); !ok || c.KVHeads != 8 {
+		t.Fatalf("ByName(mistral-7b) = %+v, %v", c, ok)
+	}
+	if _, ok := ByName("gpt-42"); ok {
+		t.Fatal("unknown name should miss")
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m := New(Tiny(), 7)
+	c1 := kvcache.NewFull(m.CacheShape())
+	c2 := kvcache.NewFull(m.CacheShape())
+	r1 := m.Prefill([]int{1, 2, 3}, c1)
+	r2 := m.Prefill([]int{1, 2, 3}, c2)
+	for i := range r1.Logits {
+		if r1.Logits[i] != r2.Logits[i] {
+			t.Fatal("same seed, same prompt must give identical logits")
+		}
+	}
+}
+
+func TestForwardFiniteLogits(t *testing.T) {
+	m := New(Tiny(), 1)
+	cache := kvcache.NewFull(m.CacheShape())
+	res := m.Prefill([]int{5, 10, 15, 20, 25}, cache)
+	if len(res.Logits) != Tiny().Vocab {
+		t.Fatalf("logits len = %d", len(res.Logits))
+	}
+	for i, v := range res.Logits {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("logit %d not finite: %v", i, v)
+		}
+	}
+}
+
+func TestPromptOrderMatters(t *testing.T) {
+	m := New(Tiny(), 3)
+	cA := kvcache.NewFull(m.CacheShape())
+	cB := kvcache.NewFull(m.CacheShape())
+	a := m.Prefill([]int{1, 2, 3, 4}, cA)
+	b := m.Prefill([]int{4, 3, 2, 1}, cB)
+	same := true
+	for i := range a.Logits {
+		if a.Logits[i] != b.Logits[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("permuted prompt should change output (position encoding)")
+	}
+}
+
+func TestCacheGrowsOncePerTokenPerLayer(t *testing.T) {
+	m := New(Tiny(), 1)
+	cache := kvcache.NewFull(m.CacheShape())
+	m.Prefill([]int{1, 2, 3, 4, 5, 6}, cache)
+	if cache.TotalAppended() != 6 {
+		t.Fatalf("appended = %d", cache.TotalAppended())
+	}
+	for l := 0; l < Tiny().Layers; l++ {
+		if cache.Len(l, 0) != 6 {
+			t.Fatalf("layer %d len = %d", l, cache.Len(l, 0))
+		}
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	m := New(Tiny(), 11)
+	g1 := m.Generate([]int{1, 2, 3}, kvcache.NewFull(m.CacheShape()), GenerateOptions{MaxNewTokens: 8, EOS: -1})
+	g2 := m.Generate([]int{1, 2, 3}, kvcache.NewFull(m.CacheShape()), GenerateOptions{MaxNewTokens: 8, EOS: -1})
+	if len(g1.Tokens) != 8 || len(g2.Tokens) != 8 {
+		t.Fatalf("lens = %d, %d", len(g1.Tokens), len(g2.Tokens))
+	}
+	for i := range g1.Tokens {
+		if g1.Tokens[i] != g2.Tokens[i] {
+			t.Fatal("greedy generation must be deterministic")
+		}
+	}
+	if len(g1.Hiddens) != len(g1.Tokens) {
+		t.Fatal("hiddens not aligned with tokens")
+	}
+}
+
+func TestGenerateStopsAtEOS(t *testing.T) {
+	m := New(Tiny(), 11)
+	// Find the greedy first token and use it as EOS so generation must stop
+	// after one step.
+	cache := kvcache.NewFull(m.CacheShape())
+	first := m.Generate([]int{1, 2, 3}, cache, GenerateOptions{MaxNewTokens: 1, EOS: -1}).Tokens[0]
+	g := m.Generate([]int{1, 2, 3}, kvcache.NewFull(m.CacheShape()), GenerateOptions{MaxNewTokens: 50, EOS: first})
+	if len(g.Tokens) != 1 || g.Tokens[0] != first {
+		t.Fatalf("tokens = %v, want immediate EOS %d", g.Tokens, first)
+	}
+}
+
+func TestGenerateTemperatureVaries(t *testing.T) {
+	m := New(Tiny(), 11)
+	a := m.Generate([]int{1, 2, 3}, kvcache.NewFull(m.CacheShape()), GenerateOptions{MaxNewTokens: 12, Temperature: 2.0, Seed: 1, EOS: -1})
+	b := m.Generate([]int{1, 2, 3}, kvcache.NewFull(m.CacheShape()), GenerateOptions{MaxNewTokens: 12, Temperature: 2.0, Seed: 2, EOS: -1})
+	same := len(a.Tokens) == len(b.Tokens)
+	if same {
+		for i := range a.Tokens {
+			if a.Tokens[i] != b.Tokens[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different sampling seeds at high temperature should diverge")
+	}
+}
+
+func TestGQAAndMHAGiveSameShapes(t *testing.T) {
+	for _, cfg := range []Config{Tiny(), TinyMHA()} {
+		m := New(cfg, 5)
+		cache := kvcache.NewFull(m.CacheShape())
+		res := m.Prefill([]int{9, 8, 7}, cache)
+		if len(res.Logits) != cfg.Vocab || len(res.Hidden) != cfg.Hidden() {
+			t.Fatalf("%s: bad output shapes", cfg.Name)
+		}
+	}
+}
+
+func TestForwardPanicsOnBadToken(t *testing.T) {
+	m := New(Tiny(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Forward(Tiny().Vocab, 0, kvcache.NewFull(m.CacheShape()))
+}
+
+func TestForwardPanicsOnCacheShapeMismatch(t *testing.T) {
+	m := New(Tiny(), 1)
+	bad := kvcache.NewFull(kvcache.Shape{Layers: 1, KVHeads: 1, HeadDim: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Forward(1, 0, bad)
+}

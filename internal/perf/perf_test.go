@@ -1,0 +1,277 @@
+package perf
+
+import (
+	"testing"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+)
+
+func est(t *testing.T, eng engine.Profile, method string, tp int) *Estimator {
+	t.Helper()
+	e, err := New(gpu.A6000, model.LLaMA2_7B, eng, compress.MustGet(method), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet("fp16"), 3); err == nil {
+		t.Fatal("TP=3 must not divide 32 heads")
+	}
+	bad := engine.Profile{Name: "x", BandwidthEff: 2}
+	if _, err := New(gpu.A6000, model.LLaMA2_7B, bad, compress.MustGet("fp16"), 1); err == nil {
+		t.Fatal("invalid engine accepted")
+	}
+}
+
+func TestDecodeBaselinePlausible(t *testing.T) {
+	// LLaMA-7B on A6000 with LMDeploy at batch 1 decodes ~40-45 tok/s in
+	// the paper (Figure 1 j). The roofline should land in that band.
+	e := est(t, engine.LMDeploy, "fp16", 1)
+	thr := e.DecodeThroughput(1, 2048)
+	if thr < 30 || thr > 60 {
+		t.Fatalf("batch-1 decode throughput %v outside plausible band", thr)
+	}
+}
+
+func TestEngineOrderingDecode(t *testing.T) {
+	// Figure 1 (a-b): LMDeploy > TRL+FA > TRL for FP16 decode.
+	for _, kv := range []int{256, 2048} {
+		for _, batch := range []int{1, 4, 16} {
+			trl := est(t, engine.TRL, "fp16", 1).DecodeThroughput(batch, kv)
+			fa := est(t, engine.TRLFA, "fp16", 1).DecodeThroughput(batch, kv)
+			lmd := est(t, engine.LMDeploy, "fp16", 1).DecodeThroughput(batch, kv)
+			if !(lmd > fa && fa > trl) {
+				t.Fatalf("kv=%d b=%d: engine ordering violated: trl=%v fa=%v lmd=%v", kv, batch, trl, fa, lmd)
+			}
+		}
+	}
+}
+
+func TestDecodeThroughputScalesWithBatch(t *testing.T) {
+	e := est(t, engine.LMDeploy, "fp16", 1)
+	t1 := e.DecodeThroughput(1, 1024)
+	t8 := e.DecodeThroughput(8, 1024)
+	if t8 <= t1*2 {
+		t.Fatalf("batching should amortize weight reads: b1=%v b8=%v", t1, t8)
+	}
+}
+
+func TestSparseDecodeAdvantageGrowsWithKVLen(t *testing.T) {
+	// Figure 1 (i-l): sparse methods keep their advantage at long KV.
+	fp := est(t, engine.LMDeploy, "fp16", 1)
+	st := est(t, engine.LMDeploy, "stream-512", 1)
+	speedupShort := st.DecodeThroughput(8, 512) / fp.DecodeThroughput(8, 512)
+	speedupLong := st.DecodeThroughput(8, 6144) / fp.DecodeThroughput(8, 6144)
+	if speedupLong <= speedupShort {
+		t.Fatalf("stream advantage should grow with KV len: short=%v long=%v", speedupShort, speedupLong)
+	}
+	if speedupLong < 1.2 {
+		t.Fatalf("stream at heavy settings should clearly win: %v", speedupLong)
+	}
+}
+
+func TestQuantDecodeGainsDiminishVsSparse(t *testing.T) {
+	// Observation 2 / Figure 1 (k): at heavy settings sparse > quant.
+	fp := est(t, engine.LMDeploy, "fp16", 1)
+	k4 := est(t, engine.LMDeploy, "kivi-4", 1)
+	st := est(t, engine.LMDeploy, "stream-512", 1)
+	kSpeed := k4.DecodeThroughput(16, 6144) / fp.DecodeThroughput(16, 6144)
+	sSpeed := st.DecodeThroughput(16, 6144) / fp.DecodeThroughput(16, 6144)
+	if sSpeed <= kSpeed {
+		t.Fatalf("sparse %v should beat quant %v at heavy settings", sSpeed, kSpeed)
+	}
+}
+
+func TestPrefillOrdering(t *testing.T) {
+	// Figure 1 (e-h): H2O lowest, GEAR below baseline, KIVI and Stream
+	// near baseline.
+	for _, p := range []int{1024, 4096} {
+		fp := est(t, engine.LMDeploy, "fp16", 1).PrefillThroughput(1, p)
+		k4 := est(t, engine.LMDeploy, "kivi-4", 1).PrefillThroughput(1, p)
+		g4 := est(t, engine.LMDeploy, "gear-4", 1).PrefillThroughput(1, p)
+		h2o := est(t, engine.LMDeploy, "h2o-512", 1).PrefillThroughput(1, p)
+		st := est(t, engine.LMDeploy, "stream-512", 1).PrefillThroughput(1, p)
+		if !(h2o < g4 && g4 < fp) {
+			t.Fatalf("p=%d: prefill ordering violated: h2o=%v g4=%v fp=%v", p, h2o, g4, fp)
+		}
+		if k4 < fp*0.9 || k4 > fp*1.15 {
+			t.Fatalf("p=%d: kivi prefill %v should be near baseline %v", p, k4, fp)
+		}
+		if st < fp*0.85 || st > fp*1.1 {
+			t.Fatalf("p=%d: stream prefill %v should be near baseline %v", p, st, fp)
+		}
+	}
+}
+
+func TestH2OPrefillGapWidensWithPromptLength(t *testing.T) {
+	fp := est(t, engine.LMDeploy, "fp16", 1)
+	h := est(t, engine.LMDeploy, "h2o-512", 1)
+	ratioShort := h.PrefillThroughput(1, 512) / fp.PrefillThroughput(1, 512)
+	ratioLong := h.PrefillThroughput(1, 6144) / fp.PrefillThroughput(1, 6144)
+	if ratioLong >= ratioShort {
+		t.Fatalf("H2O prefill gap should widen: short=%v long=%v", ratioShort, ratioLong)
+	}
+	if ratioLong > 0.75 {
+		t.Fatalf("H2O at long prompts should be clearly below baseline: %v", ratioLong)
+	}
+}
+
+func TestPrefillBaselinePlausible(t *testing.T) {
+	// Table 3: FP16 prefill at TP=1 is ~6610 tok/s (batch and prompt per
+	// the paper's synthetic setting). Allow a generous band.
+	e := est(t, engine.LMDeploy, "fp16", 1)
+	thr := e.PrefillThroughput(4, 1024)
+	if thr < 4000 || thr > 10000 {
+		t.Fatalf("prefill throughput %v outside plausible band", thr)
+	}
+}
+
+func TestTPImprovesThroughputSublinearly(t *testing.T) {
+	fp1 := est(t, engine.LMDeploy, "fp16", 1)
+	fp2 := est(t, engine.LMDeploy, "fp16", 2)
+	fp4 := est(t, engine.LMDeploy, "fp16", 4)
+	p1 := fp1.PrefillThroughput(4, 1024)
+	p2 := fp2.PrefillThroughput(4, 1024)
+	p4 := fp4.PrefillThroughput(4, 1024)
+	if !(p2 > p1 && p4 > p2) {
+		t.Fatalf("prefill should improve with TP: %v %v %v", p1, p2, p4)
+	}
+	if p2 >= 2*p1 || p4 >= 4*p1 {
+		t.Fatalf("TP scaling should be sublinear: %v %v %v", p1, p2, p4)
+	}
+}
+
+func TestTPErodesCompressionSpeedup(t *testing.T) {
+	// Table 3's key finding: compression speedups diminish as TP grows,
+	// because TP relieves per-GPU bandwidth pressure.
+	speedup := func(tp int) float64 {
+		fp := est(t, engine.LMDeploy, "fp16", tp)
+		st := est(t, engine.LMDeploy, "stream-512", tp)
+		return st.DecodeThroughput(4, 2048) / fp.DecodeThroughput(4, 2048)
+	}
+	s1, s4 := speedup(1), speedup(4)
+	if s4 >= s1 {
+		t.Fatalf("TP should erode stream speedup: tp1=%v tp4=%v", s1, s4)
+	}
+}
+
+func TestH2ODecodeHurtsUnderTP(t *testing.T) {
+	// Table 3 decode: H2O is 1.34× at TP=1 but ≤1 at TP=2/4 — the eviction
+	// path does not scale with TP.
+	speedup := func(tp int) float64 {
+		fp := est(t, engine.LMDeploy, "fp16", tp)
+		h := est(t, engine.LMDeploy, "h2o-512", tp)
+		return h.DecodeThroughput(4, 2048) / fp.DecodeThroughput(4, 2048)
+	}
+	s1, s2 := speedup(1), speedup(2)
+	if s1 <= 1 {
+		t.Fatalf("H2O at TP=1 heavy KV should win: %v", s1)
+	}
+	if s2 >= s1 {
+		t.Fatalf("H2O speedup should fall under TP: tp1=%v tp2=%v", s1, s2)
+	}
+}
+
+func TestAttentionTimeSparseFlat(t *testing.T) {
+	// Figure 3(b): sparse attention time stays flat across KV length.
+	st := est(t, engine.LMDeploy, "stream-512", 1)
+	fp := est(t, engine.LMDeploy, "fp16", 1)
+	stShort := st.AttentionDecodeTimeCumulative(1, 1000, 10)
+	stLong := st.AttentionDecodeTimeCumulative(1, 4000, 10)
+	fpShort := fp.AttentionDecodeTimeCumulative(1, 1000, 10)
+	fpLong := fp.AttentionDecodeTimeCumulative(1, 4000, 10)
+	if stLong > stShort*1.05 {
+		t.Fatalf("sparse attention time should be flat: %v vs %v", stShort, stLong)
+	}
+	if fpLong < fpShort*2 {
+		t.Fatalf("fp16 attention time should grow with KV: %v vs %v", fpShort, fpLong)
+	}
+}
+
+func TestAttentionPrefillTimeOrdering(t *testing.T) {
+	// Figure 3(a): H2O and GEAR attention-layer time above FP16 in prefill.
+	fp := est(t, engine.LMDeploy, "fp16", 1).AttentionPrefillTime(1, 4096)
+	h := est(t, engine.LMDeploy, "h2o-512", 1).AttentionPrefillTime(1, 4096)
+	g := est(t, engine.LMDeploy, "gear-4", 1).AttentionPrefillTime(1, 4096)
+	if h <= fp || g <= fp {
+		t.Fatalf("method attention time should exceed baseline: fp=%v h2o=%v gear=%v", fp, h, g)
+	}
+}
+
+func TestMemoryOOMShape(t *testing.T) {
+	// Figure 1(l): quantisation methods hit OOM at heavy settings where
+	// sparse survives; FP16 OOMs even earlier at high batch.
+	fp := est(t, engine.LMDeploy, "fp16", 1)
+	k4 := est(t, engine.LMDeploy, "kivi-4", 1)
+	st := est(t, engine.LMDeploy, "stream-512", 1)
+	if !st.Fits(16, 8192) {
+		t.Fatal("sparse should fit at batch 16 × 8192")
+	}
+	if fp.Fits(16, 8192) {
+		t.Fatal("fp16 should OOM at batch 16 × 8192 on 48GB")
+	}
+	if k4.Fits(48, 8192) {
+		t.Fatal("quant workspace should OOM at extreme settings")
+	}
+	if !k4.Fits(1, 2048) {
+		t.Fatal("quant should fit at light settings")
+	}
+}
+
+func TestEndToEndLatencyMonotoneInOutputLen(t *testing.T) {
+	e := est(t, engine.LMDeploy, "fp16", 1)
+	short := e.EndToEndLatency(1, 512, 64)
+	long := e.EndToEndLatency(1, 512, 256)
+	if long <= short {
+		t.Fatalf("longer outputs must take longer: %v vs %v", short, long)
+	}
+}
+
+func TestH800FasterThanA6000(t *testing.T) {
+	a, err := New(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet("fp16"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(gpu.H800, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet("fp16"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DecodeThroughput(1, 2048) <= a.DecodeThroughput(1, 2048) {
+		t.Fatal("H800 should out-decode A6000")
+	}
+	if h.PrefillThroughput(1, 2048) <= a.PrefillThroughput(1, 2048) {
+		t.Fatal("H800 should out-prefill A6000")
+	}
+}
+
+func TestLargerModelSlower(t *testing.T) {
+	small := est(t, engine.LMDeploy, "fp16", 1)
+	big, err := New(gpu.A6000, model.LLaMA2_13B, engine.LMDeploy, compress.MustGet("fp16"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.DecodeThroughput(1, 1024) >= small.DecodeThroughput(1, 1024) {
+		t.Fatal("13B should decode slower than 7B")
+	}
+}
+
+func TestStreamSpeedupTRLvsLMD(t *testing.T) {
+	// Figure 1 (c-d) / Observation 1: relative speedups measured on TRL do
+	// not transfer to production engines; at moderate settings the TRL
+	// speedup exceeds the LMDeploy speedup.
+	speedupOn := func(eng engine.Profile) float64 {
+		fp := est(t, eng, "fp16", 1)
+		st := est(t, eng, "stream-512", 1)
+		return st.DecodeThroughput(8, 2048) / fp.DecodeThroughput(8, 2048)
+	}
+	trl := speedupOn(engine.TRL)
+	lmd := speedupOn(engine.LMDeploy)
+	if trl <= lmd {
+		t.Fatalf("TRL speedup %v should exceed LMDeploy speedup %v", trl, lmd)
+	}
+}

@@ -1,0 +1,132 @@
+// Package router implements the four request-routing policies of the
+// paper's Section 5.4 (Table 8):
+//
+//   - Baseline: load-balance to the least-loaded GPU (the paper routes to
+//     the GPU with minimum memory usage; backlog tokens are the equivalent
+//     signal in simulation).
+//   - WithThroughput: route to the GPU with the highest predicted decoding
+//     throughput for this request, discounted by current backlog.
+//   - WithLength: route to the GPU with the minimum predicted response
+//     length. Used alone this herds requests onto the FP16 GPU and can
+//     *hurt* latency (the paper measures 0.83–1.03×) — the policy is
+//     deliberately queue-blind, as in the paper.
+//   - WithBoth: route to the GPU with the minimum predicted end-to-end
+//     latency: queueing wait + prefill + predicted length / predicted
+//     decode throughput. The paper's best (1.45–1.80×).
+package router
+
+import (
+	"math"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/gen"
+	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+// Predictors bundles the per-method tools a policy may consult, keyed by
+// method name.
+type Predictors struct {
+	Thr map[string]*predictor.ThroughputPredictor
+	Len map[string]*predictor.LengthPredictor
+	// Salt is the feature-extraction salt shared with training.
+	Salt uint64
+}
+
+// Baseline load-balances on backlog.
+type Baseline struct{}
+
+// Name implements serving.Router.
+func (Baseline) Name() string { return "baseline" }
+
+// Route picks the GPU with minimum memory usage, as the paper's baseline
+// does: queued + resident tokens proxy the KV footprint. Memory is a weak
+// load signal — it does not see how much *compute* the queued requests
+// still need — which is exactly why the predictor-driven policies beat it.
+func (Baseline) Route(req workload.Request, views []serving.GPUView) int {
+	best, bestLoad := 0, math.Inf(1)
+	for i, v := range views {
+		if v.QueuedTokens < bestLoad {
+			best, bestLoad = i, v.QueuedTokens
+		}
+	}
+	return best
+}
+
+// WithThroughput routes by predicted decode throughput, discounted by wait.
+type WithThroughput struct{ P Predictors }
+
+// Name implements serving.Router.
+func (WithThroughput) Name() string { return "w/throughput" }
+
+// Route implements serving.Router.
+func (r WithThroughput) Route(req workload.Request, views []serving.GPUView) int {
+	best, bestScore := 0, math.Inf(-1)
+	for i, v := range views {
+		tp := r.P.Thr[v.Method.Name]
+		if tp == nil {
+			continue
+		}
+		kv := req.PromptLen + expectedResp(req, v.Method)/2
+		thr := tp.PredictDecodeThroughput(1, kv)
+		score := thr / (1 + v.Wait())
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// WithLength routes to the minimum predicted response length, queue-blind.
+type WithLength struct{ P Predictors }
+
+// Name implements serving.Router.
+func (WithLength) Name() string { return "w/length" }
+
+// Route implements serving.Router.
+func (r WithLength) Route(req workload.Request, views []serving.GPUView) int {
+	best, bestLen := 0, math.Inf(1)
+	for i, v := range views {
+		lp := r.P.Len[v.Method.Name]
+		if lp == nil {
+			continue
+		}
+		l := lp.PredictLen(req, v.Method, r.P.Salt)
+		if l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// WithBoth routes to the minimum predicted end-to-end latency.
+type WithBoth struct{ P Predictors }
+
+// Name implements serving.Router.
+func (WithBoth) Name() string { return "w/both" }
+
+// Route implements serving.Router.
+func (r WithBoth) Route(req workload.Request, views []serving.GPUView) int {
+	best, bestLat := 0, math.Inf(1)
+	for i, v := range views {
+		tp := r.P.Thr[v.Method.Name]
+		lp := r.P.Len[v.Method.Name]
+		if tp == nil || lp == nil {
+			continue
+		}
+		respLen := lp.PredictLen(req, v.Method, r.P.Salt)
+		lat := v.Wait() + tp.PredictE2E(req.PromptLen, int(respLen+0.5))
+		if lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	return best
+}
+
+// expectedResp is the policy-side coarse response estimate when no length
+// predictor is attached: the reference length shifted by mean severity.
+func expectedResp(req workload.Request, m compress.Method) int {
+	sev := gen.Severity(m, req.PromptLen, req.RefLen)
+	return int(float64(req.RefLen) * (1 + 0.7*sev))
+}

@@ -1,0 +1,158 @@
+package router
+
+import (
+	"testing"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gen"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/perf"
+	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+func estFor(method string) *perf.Estimator {
+	return perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet(method), 1)
+}
+
+// buildPredictors trains the tool suite for the methods in play.
+func buildPredictors(t *testing.T, methods []string) Predictors {
+	t.Helper()
+	lm := gen.Default()
+	train := workload.SampleShareGPT(workload.DefaultShareGPT(1500), 33)
+	p := Predictors{Thr: map[string]*predictor.ThroughputPredictor{}, Len: map[string]*predictor.LengthPredictor{}, Salt: 9}
+	for _, name := range methods {
+		m := compress.MustGet(name)
+		p.Thr[name] = predictor.TrainThroughput(estFor(name), predictor.DefaultGrid(), 44)
+		p.Len[name] = predictor.TrainLength(train, lm.Run(train, m, 55), m, 9)
+	}
+	return p
+}
+
+// mixedCluster is the paper's Section 5.4 setup: one FP16 GPU + three
+// compressed GPUs.
+func mixedCluster(method string) *serving.Cluster {
+	gpus := []serving.GPUConfig{
+		{ID: 0, Method: compress.MustGet("fp16"), Est: estFor("fp16")},
+	}
+	for i := 1; i < 4; i++ {
+		gpus = append(gpus, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: estFor(method)})
+	}
+	return &serving.Cluster{GPUs: gpus, BatchCap: 64, LM: gen.Default(), Seed: 3}
+}
+
+// uniformCluster is the paper's baseline: four GPUs all running the method.
+func uniformCluster(method string) *serving.Cluster {
+	var gpus []serving.GPUConfig
+	for i := 0; i < 4; i++ {
+		gpus = append(gpus, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: estFor(method)})
+	}
+	return &serving.Cluster{GPUs: gpus, BatchCap: 64, LM: gen.Default(), Seed: 3}
+}
+
+func trace(n int, rps float64) []workload.Request {
+	cfg := workload.DefaultShareGPT(n)
+	cfg.RPS = rps
+	return workload.SampleShareGPT(cfg, 77)
+}
+
+func TestTable8PolicyOrdering(t *testing.T) {
+	// Table 8: w/Both < w/Throughput < Baseline in mean E2E latency, and
+	// w/Length alone does not beat the baseline meaningfully.
+	method := "kivi-4"
+	preds := buildPredictors(t, []string{"fp16", method})
+	reqs := trace(400, 10)
+
+	baseOut, err := uniformCluster(method).Run(reqs, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrOut, err := mixedCluster(method).Run(reqs, WithThroughput{P: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenOut, err := mixedCluster(method).Run(reqs, WithLength{P: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothOut, err := mixedCluster(method).Run(reqs, WithBoth{P: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := serving.MeanE2E(baseOut)
+	thr := serving.MeanE2E(thrOut)
+	length := serving.MeanE2E(lenOut)
+	both := serving.MeanE2E(bothOut)
+
+	if thr >= base {
+		t.Fatalf("w/Throughput %v should beat baseline %v", thr, base)
+	}
+	if both >= thr {
+		t.Fatalf("w/Both %v should beat w/Throughput %v", both, thr)
+	}
+	if length < both {
+		t.Fatalf("w/Length alone %v should not be the best policy (w/Both %v)", length, both)
+	}
+	// The paper's speedup bands: w/Both 1.45–1.80×; allow a loose band.
+	if base/both < 1.1 {
+		t.Fatalf("w/Both speedup %v too small", base/both)
+	}
+}
+
+func TestWithLengthHerdsToFP16(t *testing.T) {
+	// Queue-blind length routing sends nearly everything to the FP16 GPU —
+	// the mechanism behind its poor Table 8 showing.
+	preds := buildPredictors(t, []string{"fp16", "stream-512"})
+	out, err := mixedCluster("stream-512").Run(trace(150, 10), WithLength{P: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, o := range out {
+		counts[o.GPU]++
+	}
+	// Short-context requests predict near-identical lengths everywhere, so
+	// some scatter remains (which is why the paper measures w/Length at
+	// only 0.83–1.03×) — but FP16 must draw a heavy plurality.
+	if counts[0] < len(out)/2 {
+		t.Fatalf("w/Length routed only %d/%d to FP16: %v", counts[0], len(out), counts)
+	}
+	if compressed := len(out) - counts[0]; compressed >= counts[0] {
+		t.Fatalf("FP16 should draw the majority under w/Length: %v", counts)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	preds := Predictors{}
+	names := map[string]serving.Router{
+		"baseline":     Baseline{},
+		"w/throughput": WithThroughput{P: preds},
+		"w/length":     WithLength{P: preds},
+		"w/both":       WithBoth{P: preds},
+	}
+	for want, r := range names {
+		if r.Name() != want {
+			t.Fatalf("router name %q != %q", r.Name(), want)
+		}
+	}
+}
+
+func TestBaselineBalances(t *testing.T) {
+	out, err := uniformCluster("fp16").Run(trace(200, 20), Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, o := range out {
+		counts[o.GPU]++
+	}
+	for id := 0; id < 4; id++ {
+		if counts[id] < 20 {
+			t.Fatalf("baseline imbalance: %v", counts)
+		}
+	}
+}

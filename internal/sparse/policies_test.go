@@ -1,0 +1,189 @@
+package sparse
+
+import (
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+)
+
+func TestExtendedNames(t *testing.T) {
+	names := map[PolicyKind]string{
+		Scissorhands: "scissorhands",
+		Keyformer:    "keyformer",
+		PyramidKV:    "pyramidkv",
+		AdaKV:        "ada-kv",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d prints %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestExtendedConfigValidation(t *testing.T) {
+	good := []Config{
+		DefaultScissorhands(64), DefaultKeyformer(64),
+		DefaultPyramidKV(64), DefaultAdaKV(64),
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%v: %v", cfg.Kind, err)
+		}
+	}
+	bad := Config{Kind: Scissorhands, Budget: 8, Recent: 8}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("scissorhands with no eviction room should fail")
+	}
+}
+
+func TestScissorhandsKeepsPersistentTokens(t *testing.T) {
+	cfg := Config{Kind: Scissorhands, Budget: 6, Recent: 3}
+	c := NewCache(shape(), cfg)
+	appendN(c, 5, 1)
+	// Token 1 repeatedly exceeds the uniform attention level.
+	for step := 0; step < 3; step++ {
+		for l := 0; l < 2; l++ {
+			for h := 0; h < 2; h++ {
+				n := c.Len(l, h)
+				w := make([]float32, n)
+				for i := range w {
+					w[i] = 0.5 / float32(n)
+				}
+				w[1] = 0.9
+				c.ObserveAttention(l, h, w)
+			}
+		}
+	}
+	appendN(c, 10, 2)
+	pos := c.Positions(0, 0)
+	found := false
+	for _, p := range pos {
+		if p == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("persistent token evicted: %v", pos)
+	}
+	if !c.NeedsScores() {
+		t.Fatal("scissorhands consumes scores")
+	}
+}
+
+func TestKeyformerBudgetAndDeterminism(t *testing.T) {
+	mk := func() []int {
+		c := NewCache(shape(), DefaultKeyformer(8))
+		appendN(c, 6, 3)
+		for l := 0; l < 2; l++ {
+			for h := 0; h < 2; h++ {
+				n := c.Len(l, h)
+				w := make([]float32, n)
+				for i := range w {
+					w[i] = 1 / float32(n)
+				}
+				c.ObserveAttention(l, h, w)
+			}
+		}
+		appendN(c, 20, 4)
+		return c.Positions(1, 1)
+	}
+	a, b := mk(), mk()
+	if len(a) > 8 {
+		t.Fatalf("budget exceeded: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("keyformer gumbel noise must be deterministic")
+		}
+	}
+}
+
+func TestPyramidKVLayerBudgets(t *testing.T) {
+	c := NewCache(shape(), DefaultPyramidKV(16))
+	appendN(c, 60, 5)
+	first := c.Len(0, 0)
+	last := c.Len(1, 0)
+	if first <= last {
+		t.Fatalf("pyramid should keep more in early layers: L0=%d L1=%d", first, last)
+	}
+	// Mean across layers ≈ configured budget.
+	mean := float64(first+last) / 2
+	if mean < 12 || mean > 20 {
+		t.Fatalf("mean per-layer budget %v drifted from 16", mean)
+	}
+}
+
+func TestPyramidSingleLayerFallsBack(t *testing.T) {
+	s := kvcache.Shape{Layers: 1, KVHeads: 1, HeadDim: 4}
+	c := NewCache(s, DefaultPyramidKV(8))
+	r := make([][]float32, 1)
+	r[0] = []float32{1, 2, 3, 4}
+	for i := 0; i < 20; i++ {
+		c.Append(0, r, r)
+	}
+	if c.Len(0, 0) != 8 {
+		t.Fatalf("single-layer pyramid budget = %d", c.Len(0, 0))
+	}
+}
+
+func TestAdaKVSharedPool(t *testing.T) {
+	cfg := DefaultAdaKV(8) // pool = 8 × 2 heads = 16 per layer
+	c := NewCache(shape(), cfg)
+	appendN(c, 6, 6)
+	// Head 0's tokens carry all the attention mass; head 1's none.
+	for step := 0; step < 4; step++ {
+		for l := 0; l < 2; l++ {
+			n0 := c.Len(l, 0)
+			w0 := make([]float32, n0)
+			for i := range w0 {
+				w0[i] = 1 / float32(n0)
+			}
+			c.ObserveAttention(l, 0, w0)
+			c.ObserveAttention(l, 1, make([]float32, c.Len(l, 1)))
+		}
+	}
+	appendN(c, 40, 7)
+	for l := 0; l < 2; l++ {
+		total := c.Len(l, 0) + c.Len(l, 1)
+		if total > 16 {
+			t.Fatalf("layer %d pool exceeded: %d", l, total)
+		}
+		if c.Len(l, 0) <= c.Len(l, 1) {
+			t.Fatalf("layer %d: high-mass head should keep more (%d vs %d)",
+				l, c.Len(l, 0), c.Len(l, 1))
+		}
+		// No head starves below the protected floor.
+		if c.Len(l, 1) < cfg.Recent+1 {
+			t.Fatalf("layer %d head 1 starved: %d", l, c.Len(l, 1))
+		}
+	}
+}
+
+func TestExtendedPoliciesBudgetInvariant(t *testing.T) {
+	for _, cfg := range []Config{
+		DefaultScissorhands(12), DefaultKeyformer(12), DefaultPyramidKV(12), DefaultAdaKV(12),
+	} {
+		c := NewCache(shape(), cfg)
+		appendN(c, 100, 8)
+		for l := 0; l < 2; l++ {
+			layerTotal := 0
+			for h := 0; h < 2; h++ {
+				layerTotal += c.Len(l, h)
+			}
+			switch cfg.Kind {
+			case AdaKV:
+				if layerTotal > 12*2 {
+					t.Fatalf("%v: layer pool exceeded: %d", cfg.Kind, layerTotal)
+				}
+			case PyramidKV:
+				if layerTotal > 2*c.layerBudget(l) {
+					t.Fatalf("%v: layer %d budget exceeded: %d", cfg.Kind, l, layerTotal)
+				}
+			default:
+				if layerTotal > 12*2 {
+					t.Fatalf("%v: budget exceeded: %d", cfg.Kind, layerTotal)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package tensor implements the minimal float32 linear algebra needed to run
+// a real (tiny) transformer in pure Go: row-major matrices, matmul, softmax,
+// RMSNorm, rotary position embeddings, and sampling helpers.
+//
+// The goal is correctness and determinism, not SIMD performance: the tiny
+// model exists so that compression algorithms (quantisation, eviction)
+// operate on real tensors and their accuracy effects are genuine. Wall-clock
+// performance of full-size models is handled by the analytical cost model in
+// internal/perf.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix. It panics on non-positive
+// dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length and
+// non-empty.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("tensor: FromRows with empty input")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatMul returns a × b. It panics if the inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns m × v as a new vector. It panics on dimension mismatch.
+func MatVec(m *Matrix, v []float32) []float32 {
+	if m.Cols != len(v) {
+		panic("tensor: matvec shape mismatch")
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), v)
+	}
+	return out
+}
+
+// VecMat returns vᵀ × m as a new vector (length m.Cols).
+func VecMat(v []float32, m *Matrix) []float32 {
+	if m.Rows != len(v) {
+		panic("tensor: vecmat shape mismatch")
+	}
+	out := make([]float32, m.Cols)
+	for k, vv := range v {
+		if vv == 0 {
+			continue
+		}
+		row := m.Row(k)
+		for j := range row {
+			out[j] += vv * row[j]
+		}
+	}
+	return out
+}
+
+// Dot returns the dot product of equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AXPY computes dst += alpha * x in place.
+func AXPY(dst []float32, alpha float32, x []float32) {
+	if len(dst) != len(x) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of xs by alpha in place.
+func Scale(xs []float32, alpha float32) {
+	for i := range xs {
+		xs[i] *= alpha
+	}
+}
+
+// Softmax overwrites xs with softmax(xs) using the max-subtraction trick.
+// An empty slice is a no-op.
+func Softmax(xs []float32) {
+	if len(xs) == 0 {
+		return
+	}
+	maxV := xs[0]
+	for _, v := range xs[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float32
+	for i, v := range xs {
+		e := float32(math.Exp(float64(v - maxV)))
+		xs[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range xs {
+		xs[i] *= inv
+	}
+}
+
+// SoftmaxTemp is Softmax with a temperature divisor applied to the logits
+// first. Temperature must be > 0.
+func SoftmaxTemp(xs []float32, temp float64) {
+	if temp <= 0 {
+		panic("tensor: non-positive temperature")
+	}
+	inv := float32(1 / temp)
+	for i := range xs {
+		xs[i] *= inv
+	}
+	Softmax(xs)
+}
+
+// RMSNorm returns x normalized by its root-mean-square and scaled by gain,
+// as used by LLaMA-family models. eps guards the division.
+func RMSNorm(x, gain []float32, eps float32) []float32 {
+	if len(x) != len(gain) {
+		panic("tensor: rmsnorm length mismatch")
+	}
+	var ss float32
+	for _, v := range x {
+		ss += v * v
+	}
+	inv := 1 / float32(math.Sqrt(float64(ss/float32(len(x))+eps)))
+	out := make([]float32, len(x))
+	for i := range x {
+		out[i] = x[i] * inv * gain[i]
+	}
+	return out
+}
+
+// ApplyRoPE rotates the vector x (length must be even) in place by the
+// rotary position embedding for the given absolute position, using the
+// standard base-10000 frequency schedule over pairs (x[2i], x[2i+1]).
+func ApplyRoPE(x []float32, pos int) {
+	d := len(x)
+	if d%2 != 0 {
+		panic("tensor: RoPE requires even head dimension")
+	}
+	for i := 0; i < d; i += 2 {
+		theta := float64(pos) * math.Pow(10000, -float64(i)/float64(d))
+		sin, cos := math.Sincos(theta)
+		a, b := x[i], x[i+1]
+		x[i] = a*float32(cos) - b*float32(sin)
+		x[i+1] = a*float32(sin) + b*float32(cos)
+	}
+}
+
+// SiLU applies x * sigmoid(x) elementwise in place (LLaMA's activation).
+func SiLU(xs []float32) {
+	for i, v := range xs {
+		xs[i] = v / (1 + float32(math.Exp(-float64(v))))
+	}
+}
+
+// Argmax returns the index of the largest element, or -1 for an empty slice.
+func Argmax(xs []float32) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best, bi := xs[0], 0
+	for i, v := range xs[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// TopK returns the indices of the k largest elements in descending order of
+// value. If k >= len(xs) all indices are returned.
+func TopK(xs []float32, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k is small in all callers.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if xs[idx[j]] > xs[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// L2Dist returns the Euclidean distance between equal-length vectors.
+func L2Dist(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: l2 length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSim returns the cosine similarity of two vectors, or 0 when either
+// has zero norm.
+func CosineSim(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: cosine length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MeanAbs returns the mean absolute value of xs (0 for empty input), used as
+// a magnitude summary when reporting quantisation error.
+func MeanAbs(xs []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += math.Abs(float64(v))
+	}
+	return s / float64(len(xs))
+}

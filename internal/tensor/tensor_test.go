@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rethinkkv/internal/rng"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := MatMul(a, b)
+	want := [][]float32{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := NewMatrix(4, 4)
+	id := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, float32(r.NormFloat64()))
+		}
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A×I != A")
+		}
+	}
+}
+
+func TestMatMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMatVecVecMat(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	mv := MatVec(m, []float32{1, 1})
+	if mv[0] != 3 || mv[1] != 7 || mv[2] != 11 {
+		t.Fatalf("matvec = %v", mv)
+	}
+	vm := VecMat([]float32{1, 0, 1}, m)
+	if vm[0] != 6 || vm[1] != 8 {
+		t.Fatalf("vecmat = %v", vm)
+	}
+}
+
+func TestDotAXPYScale(t *testing.T) {
+	if d := Dot([]float32{1, 2, 3}, []float32{4, 5, 6}); d != 32 {
+		t.Fatalf("dot = %v", d)
+	}
+	dst := []float32{1, 1}
+	AXPY(dst, 2, []float32{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Fatalf("axpy = %v", dst)
+	}
+	Scale(dst, 0.5)
+	if dst[0] != 3.5 || dst[1] != 4.5 {
+		t.Fatalf("scale = %v", dst)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	xs := []float32{1, 2, 3, 4}
+	Softmax(xs)
+	var sum float32
+	for i, v := range xs {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax[%d] = %v out of (0,1)", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	// Monotone: larger logit, larger probability.
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatal("softmax not monotone")
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	xs := []float32{1000, 1001, 1002}
+	Softmax(xs)
+	var sum float32
+	for _, v := range xs {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed")
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestSoftmaxTempSharpens(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{1, 2}
+	SoftmaxTemp(a, 0.5) // sharper
+	SoftmaxTemp(b, 2.0) // flatter
+	if a[1] <= b[1] {
+		t.Fatalf("low temperature should sharpen: %v vs %v", a[1], b[1])
+	}
+}
+
+func TestQuickSoftmaxSumsToOne(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float32, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			// Clamp to a realistic logit range.
+			xs[i] = float32(math.Max(-50, math.Min(50, float64(v))))
+		}
+		Softmax(xs)
+		var sum float64
+		for _, v := range xs {
+			if v < 0 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSNorm(t *testing.T) {
+	gain := []float32{1, 1, 1, 1}
+	x := []float32{2, 2, 2, 2}
+	out := RMSNorm(x, gain, 1e-6)
+	for _, v := range out {
+		if math.Abs(float64(v)-1) > 1e-3 {
+			t.Fatalf("rmsnorm = %v", out)
+		}
+	}
+	// Scale invariance: RMSNorm(c*x) == RMSNorm(x).
+	x2 := []float32{20, 20, 20, 20}
+	out2 := RMSNorm(x2, gain, 1e-6)
+	for i := range out {
+		if math.Abs(float64(out[i]-out2[i])) > 1e-3 {
+			t.Fatal("rmsnorm not scale invariant")
+		}
+	}
+}
+
+func TestRoPEPreservesNorm(t *testing.T) {
+	r := rng.New(2)
+	x := make([]float32, 8)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	orig := append([]float32(nil), x...)
+	var n0 float64
+	for _, v := range orig {
+		n0 += float64(v * v)
+	}
+	ApplyRoPE(x, 17)
+	var n1 float64
+	for _, v := range x {
+		n1 += float64(v * v)
+	}
+	if math.Abs(n0-n1) > 1e-4*n0+1e-9 {
+		t.Fatalf("RoPE changed norm: %v -> %v", n0, n1)
+	}
+}
+
+func TestRoPEPositionZeroIsIdentity(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	orig := append([]float32(nil), x...)
+	ApplyRoPE(x, 0)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("RoPE at pos 0 should be identity")
+		}
+	}
+}
+
+func TestRoPERelativeProperty(t *testing.T) {
+	// RoPE's defining property: dot(R(q,m), R(k,n)) depends only on m-n.
+	q := []float32{0.3, -0.7, 1.1, 0.2}
+	k := []float32{-0.5, 0.9, 0.1, -0.4}
+	dotAt := func(m, n int) float64 {
+		qq := append([]float32(nil), q...)
+		kk := append([]float32(nil), k...)
+		ApplyRoPE(qq, m)
+		ApplyRoPE(kk, n)
+		return float64(Dot(qq, kk))
+	}
+	d1 := dotAt(5, 3)
+	d2 := dotAt(12, 10)
+	if math.Abs(d1-d2) > 1e-4 {
+		t.Fatalf("RoPE relative property violated: %v vs %v", d1, d2)
+	}
+}
+
+func TestSiLU(t *testing.T) {
+	xs := []float32{0, 10, -10}
+	SiLU(xs)
+	if xs[0] != 0 {
+		t.Fatalf("silu(0) = %v", xs[0])
+	}
+	if math.Abs(float64(xs[1])-10) > 0.01 {
+		t.Fatalf("silu(10) = %v", xs[1])
+	}
+	if math.Abs(float64(xs[2])) > 0.01 {
+		t.Fatalf("silu(-10) = %v", xs[2])
+	}
+}
+
+func TestArgmaxTopK(t *testing.T) {
+	xs := []float32{3, 1, 4, 1, 5, 9, 2, 6}
+	if Argmax(xs) != 5 {
+		t.Fatalf("argmax = %d", Argmax(xs))
+	}
+	if Argmax(nil) != -1 {
+		t.Fatal("argmax(empty) != -1")
+	}
+	top := TopK(xs, 3)
+	if len(top) != 3 || top[0] != 5 || top[1] != 7 || top[2] != 4 {
+		t.Fatalf("topk = %v", top)
+	}
+	if got := TopK(xs, 100); len(got) != len(xs) {
+		t.Fatalf("topk overflow len = %d", len(got))
+	}
+	if TopK(xs, 0) != nil {
+		t.Fatal("topk(0) should be nil")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	if d := L2Dist([]float32{0, 0}, []float32{3, 4}); math.Abs(d-5) > 1e-6 {
+		t.Fatalf("l2 = %v", d)
+	}
+	if c := CosineSim([]float32{1, 0}, []float32{1, 0}); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("cos parallel = %v", c)
+	}
+	if c := CosineSim([]float32{1, 0}, []float32{0, 1}); math.Abs(c) > 1e-9 {
+		t.Fatalf("cos orthogonal = %v", c)
+	}
+	if c := CosineSim([]float32{0, 0}, []float32{1, 1}); c != 0 {
+		t.Fatalf("cos zero vector = %v", c)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if m := MeanAbs([]float32{-1, 1, -3, 3}); m != 2 {
+		t.Fatalf("meanabs = %v", m)
+	}
+	if MeanAbs(nil) != 0 {
+		t.Fatal("meanabs empty != 0")
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone aliases parent")
+	}
+}
