@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test bench
+
+ci: fmt vet build test bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke:
+	$(GO) test -run XXX -bench=. -benchtime=1x .
+
+bench:
+	$(GO) test -run XXX -bench=. -benchmem .

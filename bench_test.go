@@ -1,109 +1,131 @@
-package rethinkkv
+package rethinkkv_test
 
 // One benchmark per paper table/figure: each bench regenerates its
-// experiment once per iteration, so `go test -bench=. -benchmem` both
-// exercises the full pipeline and reports its cost. EXPERIMENTS.md records
-// the paper-vs-measured comparison for each.
+// experiment once per iteration through the public rethinkkv API, so
+// `go test -bench=. -benchmem` both exercises the full pipeline and
+// reports its cost.
 
 import (
+	"context"
 	"testing"
 
-	"rethinkkv/internal/experiments"
-	"rethinkkv/internal/gpu"
-	"rethinkkv/internal/model"
+	"rethinkkv"
 )
 
 var sink interface{}
 
+// mainStudy is the paper's main setting (LLaMA-2-7B on A6000).
+func mainStudy(b *testing.B) *rethinkkv.ThroughputStudy {
+	b.Helper()
+	s, err := rethinkkv.NewThroughputStudy("", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 func BenchmarkFig1EngineDecode(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1EngineDecode(experiments.ThroughputConfig{}, 2048, []int{1, 2, 4, 8, 16})
+		sink = s.EngineDecode(2048, []int{1, 2, 4, 8, 16})
 	}
 }
 
 func BenchmarkFig1StreamSpeedup(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1StreamSpeedup(experiments.ThroughputConfig{}, 2048, []int{1, 2, 4, 8, 16})
+		sink = s.StreamSpeedup(2048, []int{1, 2, 4, 8, 16})
 	}
 }
 
 func BenchmarkFig1Prefill(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1Prefill(experiments.ThroughputConfig{}, []int{1, 4, 8, 16}, []int{1024, 2048, 4096, 8192})
+		sink = s.PrefillSweep([]int{1, 4, 8, 16}, []int{1024, 2048, 4096, 8192})
 	}
 }
 
 func BenchmarkFig1Decode(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1Decode(experiments.ThroughputConfig{}, []int{1, 4, 8, 16}, []int{1024, 2048, 4096, 8192})
+		sink = s.DecodeSweep([]int{1, 4, 8, 16}, []int{1024, 2048, 4096, 8192})
 	}
 }
 
 func BenchmarkFig2H800(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig2H800([]int{512, 1024, 2048}, []int{512, 1024, 2048})
+		sink = rethinkkv.Fig2H800([]int{512, 1024, 2048}, []int{512, 1024, 2048})
 	}
 }
 
 func BenchmarkFig3AttnTime(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig3AttentionTime(experiments.ThroughputConfig{}, []int{1024, 2048, 4096})
+		sink = s.AttentionTime([]int{1024, 2048, 4096})
 	}
 }
 
 func BenchmarkTable3TP(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Table3TP(experiments.ThroughputConfig{})
+		sink = s.TensorParallelTable()
 	}
 }
 
 func BenchmarkFig8Mistral(b *testing.B) {
-	cfg := experiments.ThroughputConfig{HW: gpu.A6000, Model: model.Mistral7B}
+	s, err := rethinkkv.NewThroughputStudy("mistral-7b", "a6000")
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1EngineDecode(cfg, 2048, []int{1, 4, 16})
+		sink = s.EngineDecode(2048, []int{1, 4, 16})
 	}
 }
 
 func BenchmarkFig10LLaMA13B(b *testing.B) {
-	cfg := experiments.ThroughputConfig{HW: gpu.A6000, Model: model.LLaMA2_13B}
+	s, err := rethinkkv.NewThroughputStudy("llama-2-13b", "a6000")
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig1Decode(cfg, []int{1, 4, 16}, []int{1024, 4096})
+		sink = s.DecodeSweep([]int{1, 4, 16}, []int{1024, 4096})
 	}
 }
 
 func BenchmarkFig11to14TPSweep(b *testing.B) {
+	s := mainStudy(b)
 	for i := 0; i < b.N; i++ {
-		sink = experiments.AppendixTPFigures(experiments.ThroughputConfig{}, []int{1, 4, 16})
+		sink = s.TensorParallelFigures([]int{1, 4, 16})
 	}
 }
 
 func BenchmarkTable4Verbosity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Table4Verbosity(4, 1)
+		sink = rethinkkv.Table4Verbosity(4, 1)
 	}
 }
 
 func BenchmarkTable5Length(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Table5Shift(1000, 1)
+		sink = rethinkkv.Table5Shift(1000, 1)
 	}
 }
 
 func BenchmarkFig4LengthDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig4LengthDistribution(500, 1)
+		sink = rethinkkv.Fig4LengthDistribution(500, 1)
 	}
 }
 
 func BenchmarkFig5E2ECDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Fig5E2ECDF(300, 1)
+		sink = rethinkkv.Fig5E2ECDF(300, 1)
 	}
 }
 
 func BenchmarkFig6Fig7Table7Negatives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		st := experiments.RunNegativeStudy(16, 192, 1)
+		st := rethinkkv.RunNegativeStudy(16, 192, 1)
 		sink = st.Fig6Thresholds()
 		sink = st.Fig7TaskBreakdown()
 		sink = st.Table7NegativeBenchmark()
@@ -112,16 +134,60 @@ func BenchmarkFig6Fig7Table7Negatives(b *testing.B) {
 
 func BenchmarkTable6Predictors(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sink = experiments.Table6Predictors(1)
+		sink = rethinkkv.Table6Predictors(1)
 	}
 }
 
 func BenchmarkTable8Router(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Table8Router(120, 10, 1)
+		t, err := rethinkkv.Table8Router(120, 10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		sink = t
+	}
+}
+
+func BenchmarkPipelineRun(b *testing.B) {
+	p, err := rethinkkv.New(rethinkkv.WithMethod("stream-512"), rethinkkv.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompt := make([]int, 128)
+	for i := range prompt {
+		prompt[i] = (i*13 + 5) % 500
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := p.Run(prompt, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = out
+	}
+}
+
+func BenchmarkPipelineGenerate(b *testing.B) {
+	p, err := rethinkkv.New(rethinkkv.WithMethod("stream-512"),
+		rethinkkv.WithSeed(1), rethinkkv.WithMaxNewTokens(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompt := make([]int, 128)
+	for i := range prompt {
+		prompt[i] = (i*13 + 5) % 500
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := p.Generate(ctx, prompt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for range ch {
+			n++
+		}
+		sink = n
 	}
 }

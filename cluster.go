@@ -1,0 +1,229 @@
+package rethinkkv
+
+import (
+	"fmt"
+	"sync"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/gen"
+	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/router"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+// Request is one ShareGPT-like serving request (ID, prompt length, reference
+// response length, arrival time).
+type Request = workload.Request
+
+// Outcome is one served request: its GPU, realised response length, and the
+// batch timing from which E2E, TTFT, and TBOT derive.
+type Outcome = serving.Outcome
+
+// GPUView is the router-visible state of one GPU at routing time.
+type GPUView struct {
+	// ID is the GPU's position in the cluster.
+	ID int
+	// Method is the compression method the GPU runs.
+	Method string
+	// FreeAt is when the GPU finishes all committed work, seconds.
+	FreeAt float64
+	// QueuedTokens is the backlog in (prompt + expected response) tokens.
+	QueuedTokens float64
+	// Now is the decision timestamp, seconds.
+	Now float64
+}
+
+// Wait returns the expected queueing delay before new work starts.
+func (v GPUView) Wait() float64 {
+	if w := v.FreeAt - v.Now; w > 0 {
+		return w
+	}
+	return 0
+}
+
+// Router assigns each arriving request to a GPU index. Implement it for
+// custom policies, or obtain one of the paper's four policies from
+// Cluster.Router. Returning an index outside [0, len(views)) makes
+// ServeTrace fail with an error.
+type Router interface {
+	Name() string
+	Route(req Request, views []GPUView) int
+}
+
+// Cluster is a simulated multi-GPU serving fleet: one compression method per
+// GPU, batch service times from the analytical cost model, and per-request
+// response lengths from the length model (so compression's verbose-output
+// effect degrades its own end-to-end latency, as the paper observes).
+type Cluster struct {
+	cfg config
+	sim *serving.Cluster
+
+	mu    sync.Mutex
+	preds *router.Predictors
+}
+
+// NewCluster builds a fleet with one GPU per method name. Options:
+// WithHardware, WithModel, WithEngine, WithTP, WithBatchCap, WithSeed.
+func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
+	if len(methods) == 0 {
+		return nil, ErrEmptyCluster
+	}
+	cfg := buildConfig(opts)
+	if cfg.batchCap <= 0 {
+		return nil, fmt.Errorf("%w: batch cap must be positive, got %d", ErrInvalidOption, cfg.batchCap)
+	}
+	sim := &serving.Cluster{BatchCap: cfg.batchCap, LM: gen.Default(), Seed: cfg.seed}
+	for i, name := range methods {
+		m, err := resolveMethod(name)
+		if err != nil {
+			return nil, err
+		}
+		est, err := newEstimator(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		sim.GPUs = append(sim.GPUs, serving.GPUConfig{ID: i, Method: m, Est: est})
+	}
+	return &Cluster{cfg: cfg, sim: sim}, nil
+}
+
+// Size returns the number of GPUs in the cluster.
+func (c *Cluster) Size() int { return len(c.sim.GPUs) }
+
+// GPUMethods returns the per-GPU method names in cluster order.
+func (c *Cluster) GPUMethods() []string {
+	out := make([]string, len(c.sim.GPUs))
+	for i, g := range c.sim.GPUs {
+		out[i] = g.Method.Name
+	}
+	return out
+}
+
+// ServeTrace runs the discrete-event simulation of the request trace behind
+// the router and returns per-request outcomes sorted by request ID.
+func (c *Cluster) ServeTrace(reqs []Request, r Router) ([]Outcome, error) {
+	inner := serving.Router(routerAdapter{r})
+	if nr, ok := r.(*namedRouter); ok {
+		// A named policy carries its cluster's estimators: reject a router
+		// built for a different fleet rather than silently misrouting, and
+		// skip the view round-trip for a matching one.
+		if nr.c != c {
+			return nil, fmt.Errorf("rethinkkv: router %q belongs to a different cluster", r.Name())
+		}
+		inner = nr.inner
+	}
+	out, err := c.sim.Run(reqs, inner)
+	if err != nil {
+		return nil, fmt.Errorf("rethinkkv: %w", err)
+	}
+	return out, nil
+}
+
+// routerAdapter drives a public Router from the internal simulator.
+type routerAdapter struct{ r Router }
+
+func (a routerAdapter) Name() string { return a.r.Name() }
+
+func (a routerAdapter) Route(req workload.Request, views []serving.GPUView) int {
+	pub := make([]GPUView, len(views))
+	for i, v := range views {
+		pub[i] = GPUView{
+			ID: v.ID, Method: v.Method.Name,
+			FreeAt: v.FreeAt, QueuedTokens: v.QueuedTokens, Now: v.Now,
+		}
+	}
+	return a.r.Route(req, pub)
+}
+
+// Router returns one of the paper's four routing policies by name
+// (see Routers()). Predictor-driven policies train a throughput and length
+// predictor per distinct cluster method on first use; the trained suite is
+// cached on the cluster.
+func (c *Cluster) Router(name string) (Router, error) {
+	switch name {
+	case RouterBaseline:
+		return &namedRouter{c: c, inner: router.Baseline{}}, nil
+	case RouterWithThroughput:
+		return &namedRouter{c: c, inner: router.WithThroughput{P: c.predictors()}}, nil
+	case RouterWithLength:
+		return &namedRouter{c: c, inner: router.WithLength{P: c.predictors()}}, nil
+	case RouterWithBoth:
+		return &namedRouter{c: c, inner: router.WithBoth{P: c.predictors()}}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownRouter, name)
+}
+
+// predictors lazily trains the per-method predictor suite the policies
+// consult, mirroring the paper's Section 5 tooling. Safe for concurrent
+// Router calls.
+func (c *Cluster) predictors() router.Predictors {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.preds != nil {
+		return *c.preds
+	}
+	lm := c.sim.LM
+	salt := c.cfg.seed + 7
+	p := router.Predictors{
+		Thr:  map[string]*predictor.ThroughputPredictor{},
+		Len:  map[string]*predictor.LengthPredictor{},
+		Salt: salt,
+	}
+	train := workload.SampleShareGPT(workload.DefaultShareGPT(2000), c.cfg.seed)
+	for _, g := range c.sim.GPUs {
+		name := g.Method.Name
+		if _, done := p.Thr[name]; done {
+			continue
+		}
+		m := compress.MustGet(name)
+		p.Thr[name] = predictor.TrainThroughput(g.Est, predictor.DefaultGrid(), c.cfg.seed+2)
+		p.Len[name] = predictor.TrainLength(train, lm.Run(train, m, c.cfg.seed+3), m, salt)
+	}
+	c.preds = &p
+	return p
+}
+
+// namedRouter is a paper policy bound to its cluster. It satisfies the
+// public Router interface by rebuilding the internal views from the public
+// ones: the method comes from the view itself (so a wrapped router still
+// routes correctly on a foreign fleet), and the cluster's estimator is
+// attached only when the view provably describes this cluster's GPU.
+type namedRouter struct {
+	c     *Cluster
+	inner serving.Router
+}
+
+func (r *namedRouter) Name() string { return r.inner.Name() }
+
+func (r *namedRouter) Route(req Request, views []GPUView) int {
+	iv := make([]serving.GPUView, len(views))
+	for i, v := range views {
+		iv[i] = serving.GPUView{
+			FreeAt: v.FreeAt, QueuedTokens: v.QueuedTokens, Now: v.Now, ID: v.ID,
+		}
+		if m, err := compress.Get(v.Method); err == nil {
+			iv[i].Method = m
+		}
+		if v.ID >= 0 && v.ID < len(r.c.sim.GPUs) && r.c.sim.GPUs[v.ID].Method.Name == v.Method {
+			iv[i].Est = r.c.sim.GPUs[v.ID].Est
+		}
+	}
+	return r.inner.Route(req, iv)
+}
+
+// ShareGPTTrace draws a deterministic ShareGPT-like request trace of n
+// requests. rps > 0 adds Poisson arrival times at that rate; rps == 0 gives
+// a closed-loop trace (all arrivals at time zero).
+func ShareGPTTrace(n int, rps float64, seed uint64) []Request {
+	cfg := workload.DefaultShareGPT(n)
+	cfg.RPS = rps
+	return workload.SampleShareGPT(cfg, seed)
+}
+
+// MeanE2E returns the average end-to-end latency of a run — the paper's
+// Table 8 cell value.
+func MeanE2E(outcomes []Outcome) float64 { return serving.MeanE2E(outcomes) }
+
+// E2Es extracts per-request end-to-end latencies (Figure 5's CDF input).
+func E2Es(outcomes []Outcome) []float64 { return serving.E2Es(outcomes) }

@@ -1,7 +1,8 @@
 // Command kvbench regenerates the paper's throughput experiments:
 // Figure 1 (engine comparison, method prefill/decode sweeps), Figure 2
 // (LLaMA-70B on H800), Figure 3 (attention-layer time), Table 3 (tensor
-// parallelism), and the appendix TP figures (8-14).
+// parallelism), and the appendix TP figures (8-14). It drives the public
+// rethinkkv API only.
 //
 // Usage:
 //
@@ -16,9 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"rethinkkv/internal/experiments"
-	"rethinkkv/internal/gpu"
-	"rethinkkv/internal/model"
+	"rethinkkv"
 )
 
 func main() {
@@ -28,17 +27,11 @@ func main() {
 	hwName := flag.String("hw", "a6000", "hardware: a6000 or h800")
 	flag.Parse()
 
-	cfg, ok := model.ByName(*modelName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+	study, err := rethinkkv.NewThroughputStudy(*modelName, *hwName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	hw, ok := gpu.ByName(*hwName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown hardware %q\n", *hwName)
-		os.Exit(1)
-	}
-	tc := experiments.ThroughputConfig{HW: hw, Model: cfg}
 
 	batches := []int{1, 2, 4, 8, 16}
 	prompts := []int{512, 1024, 2048, 4096, 6144, 8192}
@@ -52,49 +45,39 @@ func main() {
 		}
 	}
 	run("1ab", func() {
-		fmt.Println(experiments.Fig1EngineDecode(tc, 256, batches).Format())
-		fmt.Println(experiments.Fig1EngineDecode(tc, 2048, batches).Format())
+		fmt.Println(study.EngineDecode(256, batches).Format())
+		fmt.Println(study.EngineDecode(2048, batches).Format())
 	})
 	run("1cd", func() {
-		fmt.Println(experiments.Fig1StreamSpeedup(tc, 1024, batches).Format())
-		fmt.Println(experiments.Fig1StreamSpeedup(tc, 2048, batches).Format())
+		fmt.Println(study.StreamSpeedup(1024, batches).Format())
+		fmt.Println(study.StreamSpeedup(2048, batches).Format())
 	})
 	run("1eh", func() {
-		for _, f := range experiments.Fig1Prefill(tc, batches, prompts) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(study.PrefillSweep(batches, prompts)))
 	})
 	run("1il", func() {
-		for _, f := range experiments.Fig1Decode(tc, batches, kvs) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(study.DecodeSweep(batches, kvs)))
 	})
 	run("2", func() {
-		for _, f := range experiments.Fig2H800(prompts, kvs) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig2H800(prompts, kvs)))
 	})
 	run("3", func() {
-		for _, f := range experiments.Fig3AttentionTime(tc, []int{1024, 2048, 3072, 4096}) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(study.AttentionTime([]int{1024, 2048, 3072, 4096})))
 	})
 	run("tp", func() {
-		for _, f := range experiments.AppendixTPFigures(tc, batches) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(study.TensorParallelFigures(batches)))
 	})
 	run("8", func() {
-		fmt.Print(experiments.FormatAll(experiments.Fig8Mistral(batches, prompts[:4])))
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig8Mistral(batches, prompts[:4])))
 	})
 	run("9", func() {
-		fmt.Print(experiments.FormatAll(experiments.Fig9SnapKV(batches, kvs[:4])))
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig9SnapKV(batches, kvs[:4])))
 	})
 	run("10", func() {
-		fmt.Print(experiments.FormatAll(experiments.Fig10LLaMA13B(batches, prompts[:4])))
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig10LLaMA13B(batches, prompts[:4])))
 	})
 	if *table == "3" || *fig == "all" {
-		fmt.Println(experiments.Table3TP(tc).Format())
+		fmt.Println(study.TensorParallelTable().Format())
 		ran = true
 	}
 	if !ran {

@@ -1,6 +1,7 @@
 // Command kvtools regenerates the paper's tool-suite experiments (Section
 // 5): Table 6 (throughput and length predictor accuracy) and Table 8 (the
-// request router's average end-to-end latency under four policies).
+// request router's average end-to-end latency under four policies). It
+// drives the public rethinkkv API only.
 package main
 
 import (
@@ -8,13 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"rethinkkv/internal/compress"
-	"rethinkkv/internal/engine"
-	"rethinkkv/internal/experiments"
-	"rethinkkv/internal/gpu"
-	"rethinkkv/internal/model"
-	"rethinkkv/internal/perf"
-	"rethinkkv/internal/predictor"
+	"rethinkkv"
 )
 
 func main() {
@@ -26,15 +21,12 @@ func main() {
 	flag.Parse()
 
 	if *advantage != "" {
-		m, err := compress.Get(*advantage)
+		a, err := rethinkkv.ComputeAdvantage(*advantage,
+			[]int{1, 2, 4, 8, 16}, []int{256, 512, 1024, 2048, 4096, 8192})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fp := perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet("fp16"), 1)
-		me := perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, m, 1)
-		a := predictor.ComputeAdvantage(fp, me, m.Name,
-			[]int{1, 2, 4, 8, 16}, []int{256, 512, 1024, 2048, 4096, 8192})
 		fmt.Println(a.Format())
 		dec, pre := a.AdvantageousFraction()
 		fmt.Printf("advantageous cells: decode %.0f%%, prefill %.0f%%\n", 100*dec, 100*pre)
@@ -42,10 +34,10 @@ func main() {
 	}
 
 	if *table == "6" || *table == "all" {
-		fmt.Println(experiments.Table6Predictors(*seed).Format())
+		fmt.Println(rethinkkv.Table6Predictors(*seed).Format())
 	}
 	if *table == "8" || *table == "all" {
-		t, err := experiments.Table8Router(*n, *rps, *seed)
+		t, err := rethinkkv.Table8Router(*n, *rps, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,7 +1,8 @@
 // Command lengthstudy regenerates the paper's response-length experiments:
 // Table 4 (semantic score and length increase on verbose requests), Table 5
 // (≥50% length-shift ratios), Figure 4 (length-difference distributions),
-// and Figure 5 (end-to-end latency CDF).
+// and Figure 5 (end-to-end latency CDF). It drives the public rethinkkv API
+// only.
 package main
 
 import (
@@ -9,45 +10,43 @@ import (
 	"fmt"
 	"os"
 
-	"rethinkkv/internal/experiments"
+	"rethinkkv"
 )
 
 func main() {
-	table := flag.String("table", "", "table to run: 4, 5")
-	fig := flag.String("fig", "", "figure to run: 4, 5, all")
+	table := flag.String("table", "", "table to run: 4, 5, 9")
+	fig := flag.String("fig", "", "figure to run: 4, 5, 15, 16, all")
 	n := flag.Int("n", 1000, "ShareGPT-like sample count")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	flag.Parse()
 
 	ran := false
 	if *table == "5" || *fig == "all" {
-		fmt.Println(experiments.Table5Shift(*n, *seed).Format())
+		fmt.Println(rethinkkv.Table5Shift(*n, *seed).Format())
 		ran = true
 	}
 	if *table == "4" || *fig == "all" {
-		fmt.Println(experiments.Table4Verbosity(24, *seed).Format())
+		fmt.Println(rethinkkv.Table4Verbosity(24, *seed).Format())
 		ran = true
 	}
 	if *fig == "4" || *fig == "all" {
-		for _, f := range experiments.Fig4LengthDistribution(*n, *seed) {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig4LengthDistribution(*n, *seed)))
 		ran = true
 	}
 	if *fig == "5" || *fig == "all" {
-		fmt.Println(experiments.Fig5E2ECDF(*n, *seed).Format())
+		fmt.Println(rethinkkv.Fig5E2ECDF(*n, *seed).Format())
 		ran = true
 	}
 	if *table == "9" || *fig == "all" {
-		fmt.Println(experiments.Table9MistralShift(*n, *seed).Format())
+		fmt.Println(rethinkkv.Table9MistralShift(*n, *seed).Format())
 		ran = true
 	}
 	if *fig == "15" || *fig == "all" {
-		fmt.Print(experiments.FormatAll(experiments.Fig15MistralLengthDistribution(*n, *seed)))
+		fmt.Print(rethinkkv.FormatAll(rethinkkv.Fig15MistralLengthDistribution(*n, *seed)))
 		ran = true
 	}
 	if *fig == "16" || *fig == "all" {
-		fmt.Println(experiments.Fig16MistralE2E(*n, *seed).Format())
+		fmt.Println(rethinkkv.Fig16MistralE2E(*n, *seed).Format())
 		ran = true
 	}
 	if !ran {

@@ -2,7 +2,7 @@
 // (Section 4.4 and Section 5.3): Figure 6 (threshold vs negative counts),
 // Figure 7 (task-type breakdown), and Table 7 (scores on the negative
 // benchmark). Every number comes from running the tiny transformer for real
-// under each compression method.
+// under each compression method, via the public rethinkkv API.
 package main
 
 import (
@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"os"
 
-	"rethinkkv/internal/experiments"
+	"rethinkkv"
 )
 
 func main() {
@@ -23,17 +23,15 @@ func main() {
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "evaluating %d samples × 5 methods on the tiny model (%s family)...\n", *n, *family)
-	var st *experiments.NegativeStudy
+	var st *rethinkkv.NegativeStudy
 	if *family == "mistral" {
-		st = experiments.MistralNegativeStudy(*n, *promptLen, *seed)
+		st = rethinkkv.MistralNegativeStudy(*n, *promptLen, *seed)
 	} else {
-		st = experiments.RunNegativeStudy(*n, *promptLen, *seed)
+		st = rethinkkv.RunNegativeStudy(*n, *promptLen, *seed)
 	}
 
 	if *fig == "6" || *fig == "all" {
-		for _, f := range st.Fig6Thresholds() {
-			fmt.Println(f.Format())
-		}
+		fmt.Print(rethinkkv.FormatAll(st.Fig6Thresholds()))
 	}
 	if *fig == "7" || *fig == "all" {
 		fmt.Println(st.Fig7TaskBreakdown().Format())

@@ -1,0 +1,27 @@
+package rethinkkv
+
+import "errors"
+
+// Typed errors returned by the public constructors and registries. Wraps
+// carry the offending name: test with errors.Is.
+var (
+	// ErrUnknownMethod reports a compression method name absent from
+	// Methods().
+	ErrUnknownMethod = errors.New("rethinkkv: unknown compression method")
+	// ErrUnknownModel reports a model name absent from Models().
+	ErrUnknownModel = errors.New("rethinkkv: unknown model")
+	// ErrUnknownEngine reports an engine name absent from Engines().
+	ErrUnknownEngine = errors.New("rethinkkv: unknown engine")
+	// ErrUnknownHardware reports a hardware name absent from Hardware().
+	ErrUnknownHardware = errors.New("rethinkkv: unknown hardware")
+	// ErrUnknownRouter reports a routing policy absent from Routers().
+	ErrUnknownRouter = errors.New("rethinkkv: unknown router policy")
+	// ErrEmptyPrompt reports a Generate call with no prompt tokens.
+	ErrEmptyPrompt = errors.New("rethinkkv: empty prompt")
+	// ErrInvalidToken reports a prompt token outside the model's vocabulary.
+	ErrInvalidToken = errors.New("rethinkkv: prompt token out of vocabulary range")
+	// ErrInvalidOption reports an option value outside its valid range.
+	ErrInvalidOption = errors.New("rethinkkv: invalid option value")
+	// ErrEmptyCluster reports a cluster constructed with no GPUs.
+	ErrEmptyCluster = errors.New("rethinkkv: cluster needs at least one GPU")
+)

@@ -1,0 +1,92 @@
+package rethinkkv
+
+import (
+	"rethinkkv/internal/accuracy"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/workload"
+)
+
+// Sample is one LongBench-like evaluation sample: a tokenised prompt with
+// critical spans the answer depends on.
+type Sample = workload.Sample
+
+// Span is a half-open token range [Start, End) within a prompt.
+type Span = workload.Span
+
+// TaskType is a LongBench-like task category.
+type TaskType = workload.TaskType
+
+// Task categories of the LongBench-like suite.
+const (
+	Summarization = workload.Summarization
+	SingleDocQA   = workload.SingleDocQA
+	MultiDocQA    = workload.MultiDocQA
+	CodeTask      = workload.Code
+	FewShot       = workload.FewShot
+	Synthetic     = workload.Synthetic
+)
+
+// Reference is the FP16 baseline run of one sample, reused across methods.
+type Reference = accuracy.Reference
+
+// EvalResult is the per-sample, per-method accuracy outcome (retention,
+// fidelity, agreement, task score).
+type EvalResult = accuracy.Result
+
+// NegativeSet is the output of the paper's Algorithm 1: samples benign
+// under the baseline that degrade beyond a threshold under every method in
+// the set.
+type NegativeSet = accuracy.NegativeSet
+
+// Evaluator scores samples under compression methods by running the tiny
+// transformer for real — quantisation and eviction act on genuine tensors.
+type Evaluator struct {
+	ev    *accuracy.Evaluator
+	vocab int
+}
+
+// NewEvaluator builds an accuracy evaluator. Options: WithSeed (model
+// weights), WithContSteps (continuation length compared between reference
+// and compressed runs).
+func NewEvaluator(opts ...Option) (*Evaluator, error) {
+	cfg := buildConfig(opts)
+	tiny := model.New(model.Tiny(), cfg.seed)
+	return &Evaluator{
+		ev:    accuracy.NewEvaluator(tiny, accuracy.Config{ContSteps: cfg.contSteps}),
+		vocab: model.Tiny().Vocab,
+	}, nil
+}
+
+// LongBenchSamples draws a deterministic LongBench-like task suite of n
+// samples at the given prompt scale.
+func (e *Evaluator) LongBenchSamples(n, promptLen int, seed uint64) []Sample {
+	return workload.SampleLongBench(workload.DefaultLongBench(n, promptLen, e.vocab), seed)
+}
+
+// Baseline executes the FP16 reference run for a sample.
+func (e *Evaluator) Baseline(s Sample) *Reference { return e.ev.RunBaseline(s) }
+
+// Evaluate scores one method against a reference run. Unknown method names
+// return ErrUnknownMethod.
+func (e *Evaluator) Evaluate(ref *Reference, method string) (EvalResult, error) {
+	if _, err := resolveMethod(method); err != nil {
+		return EvalResult{}, err
+	}
+	return e.ev.Evaluate(ref, method), nil
+}
+
+// CollectNegatives implements the paper's Algorithm 1: the samples benign
+// under the baseline that degrade beyond threshold theta under every listed
+// method. baseline[i] and byMethod[m][i] must describe the same sample order.
+func CollectNegatives(baseline []EvalResult, byMethod map[string][]EvalResult, methods []string, theta float64) NegativeSet {
+	return accuracy.CollectNegatives(baseline, byMethod, methods, theta)
+}
+
+// TaskBreakdown returns each task group's share of a negative set —
+// Figure 7's input.
+func TaskBreakdown(set NegativeSet, samples []Sample) map[string]float64 {
+	return accuracy.TaskBreakdown(set, samples)
+}
+
+// SortedGroups returns a breakdown's keys in descending-share order.
+func SortedGroups(m map[string]float64) []string { return accuracy.SortedGroups(m) }

@@ -1,30 +1,31 @@
 // Compare: run every compression method on the same long-context QA sample
 // and watch who keeps the needle — the mechanism behind the paper's
-// negative-sample analysis (Section 4.4).
+// negative-sample analysis (Section 4.4). Uses the public rethinkkv API.
 //
 // Run: go run ./examples/compare
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"rethinkkv/internal/accuracy"
-	"rethinkkv/internal/model"
-	"rethinkkv/internal/workload"
+	"rethinkkv"
 )
 
 func main() {
-	tiny := model.New(model.Tiny(), 7)
-	ev := accuracy.NewEvaluator(tiny, accuracy.Config{ContSteps: 12})
+	ev, err := rethinkkv.NewEvaluator(rethinkkv.WithSeed(7), rethinkkv.WithContSteps(12))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Draw LongBench-like samples and pick a single-document QA task whose
 	// needle sits early in the prompt — the adversarial case for
 	// recency-keeping eviction.
-	samples := workload.SampleLongBench(workload.DefaultLongBench(200, 320, model.Tiny().Vocab), 3)
-	var qa *workload.Sample
+	samples := ev.LongBenchSamples(200, 320, 3)
+	var qa *rethinkkv.Sample
 	for i := range samples {
 		s := &samples[i]
-		if s.Task == workload.SingleDocQA && s.Critical[0].End < 80 {
+		if s.Task == rethinkkv.SingleDocQA && s.Critical[0].End < 80 {
 			qa = s
 			break
 		}
@@ -35,10 +36,13 @@ func main() {
 	fmt.Printf("sample %d: %s, prompt %d tokens, needle at [%d,%d)\n\n",
 		qa.ID, qa.Task, qa.PromptLen, qa.Critical[0].Start, qa.Critical[0].End)
 
-	ref := ev.RunBaseline(*qa)
+	ref := ev.Baseline(*qa)
 	fmt.Println("method       retention  fidelity  agreement  score")
 	for _, m := range []string{"fp16", "kivi-4", "kivi-2", "gear-4", "h2o-512", "h2o-256", "stream-512", "stream-256", "snapkv-512"} {
-		r := ev.Evaluate(ref, m)
+		r, err := ev.Evaluate(ref, m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-12s %9.2f %9.3f %10.2f %6.1f\n",
 			m, r.Retention, r.Fidelity, r.Agreement, r.Score)
 	}

@@ -1,47 +1,56 @@
 // Longcontext: hunt for negative samples (Algorithm 1) on a synthetic
 // LongBench suite and print the task-type breakdown — a miniature of the
-// paper's Figures 6-7 pipeline.
+// paper's Figures 6-7 pipeline, driven through the public rethinkkv API.
 //
 // Run: go run ./examples/longcontext
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"rethinkkv/internal/accuracy"
-	"rethinkkv/internal/model"
-	"rethinkkv/internal/workload"
+	"rethinkkv"
 )
 
 func main() {
-	tiny := model.New(model.Tiny(), 11)
-	ev := accuracy.NewEvaluator(tiny, accuracy.Config{ContSteps: 8})
-	samples := workload.SampleLongBench(workload.DefaultLongBench(60, 256, model.Tiny().Vocab), 2)
+	ev, err := rethinkkv.NewEvaluator(rethinkkv.WithSeed(11), rethinkkv.WithContSteps(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := ev.LongBenchSamples(60, 256, 2)
 
 	methods := []string{"kivi-4", "stream-512"}
-	var baseline []accuracy.Result
-	byMethod := map[string][]accuracy.Result{}
+	var baseline []rethinkkv.EvalResult
+	byMethod := map[string][]rethinkkv.EvalResult{}
 	fmt.Printf("evaluating %d samples under %v...\n\n", len(samples), methods)
 	for _, s := range samples {
-		ref := ev.RunBaseline(s)
-		baseline = append(baseline, ev.Evaluate(ref, "fp16"))
+		ref := ev.Baseline(s)
+		base, err := ev.Evaluate(ref, "fp16")
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline = append(baseline, base)
 		for _, m := range methods {
-			byMethod[m] = append(byMethod[m], ev.Evaluate(ref, m))
+			r, err := ev.Evaluate(ref, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			byMethod[m] = append(byMethod[m], r)
 		}
 	}
 
 	fmt.Println("threshold   kivi-4  stream-512  combined")
 	for _, theta := range []float64{0.02, 0.08, 0.32} {
-		k := len(accuracy.CollectNegatives(baseline, byMethod, []string{"kivi-4"}, theta).IDs)
-		s := len(accuracy.CollectNegatives(baseline, byMethod, []string{"stream-512"}, theta).IDs)
-		c := len(accuracy.CollectNegatives(baseline, byMethod, methods, theta).IDs)
+		k := len(rethinkkv.CollectNegatives(baseline, byMethod, []string{"kivi-4"}, theta).IDs)
+		s := len(rethinkkv.CollectNegatives(baseline, byMethod, []string{"stream-512"}, theta).IDs)
+		c := len(rethinkkv.CollectNegatives(baseline, byMethod, methods, theta).IDs)
 		fmt.Printf("%8.0f%% %8d %11d %9d\n", theta*100, k, s, c)
 	}
 
-	set := accuracy.CollectNegatives(baseline, byMethod, []string{"stream-512"}, 0.10)
-	bd := accuracy.TaskBreakdown(set, samples)
+	set := rethinkkv.CollectNegatives(baseline, byMethod, []string{"stream-512"}, 0.10)
+	bd := rethinkkv.TaskBreakdown(set, samples)
 	fmt.Printf("\nstream-512 negatives by task group (θ=10%%, n=%d):\n", len(set.IDs))
-	for _, g := range accuracy.SortedGroups(bd) {
+	for _, g := range rethinkkv.SortedGroups(bd) {
 		fmt.Printf("  %-14s %5.1f%%\n", g, 100*bd[g])
 	}
 }

@@ -1,14 +1,15 @@
 // Quickstart: compress a KV cache during real generation and inspect the
-// memory/accuracy trade-off.
+// memory/accuracy trade-off — entirely through the public rethinkkv API.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"rethinkkv/internal/core"
+	"rethinkkv"
 )
 
 func main() {
@@ -20,7 +21,7 @@ func main() {
 
 	fmt.Println("method      ratio   cache-bytes  retained  first-tokens")
 	for _, method := range []string{"fp16", "kivi-4", "kivi-2", "gear-4", "h2o-512", "stream-512", "snapkv-512"} {
-		p, err := core.NewPipeline(method, 42)
+		p, err := rethinkkv.New(rethinkkv.WithMethod(method), rethinkkv.WithSeed(42))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -32,12 +33,31 @@ func main() {
 			rep.Method, rep.CompressionRatio, rep.CacheBytes, rep.RetainedTokens, out[:4])
 	}
 
+	// Pipelines are reusable, and Generate streams token-by-token under a
+	// cancellable context.
+	p, err := rethinkkv.New(rethinkkv.WithMethod("stream-512"),
+		rethinkkv.WithSeed(42), rethinkkv.WithMaxNewTokens(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := p.Generate(context.Background(), prompt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed:")
+	for tok := range stream {
+		fmt.Printf(" %d", tok.ID)
+	}
+	fmt.Println()
+
 	// The analytical view: what the same choice costs at production scale.
-	sys, err := core.NewSystem("a6000", "llama-2-7b", "lmdeploy", "stream-512", 1)
+	sys, err := rethinkkv.NewSystem(
+		rethinkkv.WithHardware("a6000"), rethinkkv.WithModel("llama-2-7b"),
+		rethinkkv.WithEngine("lmdeploy"), rethinkkv.WithMethod("stream-512"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nLLaMA-2-7B on A6000 (LMDeploy, Stream-512):\n")
-	fmt.Printf("  decode @ batch 8, KV 4096:  %.0f tok/s\n", sys.Est.DecodeThroughput(8, 4096))
-	fmt.Printf("  prefill @ batch 1, 4096:    %.0f tok/s\n", sys.Est.PrefillThroughput(1, 4096))
+	fmt.Printf("  decode @ batch 8, KV 4096:  %.0f tok/s\n", sys.DecodeThroughput(8, 4096))
+	fmt.Printf("  prefill @ batch 1, 4096:    %.0f tok/s\n", sys.PrefillThroughput(1, 4096))
 }

@@ -1,6 +1,6 @@
 // Serving: simulate a 4-GPU cluster behind the paper's request router
 // (Section 5.4) and compare the four routing policies' mean end-to-end
-// latency on a Poisson trace.
+// latency on a Poisson trace — entirely through the public rethinkkv API.
 //
 // Run: go run ./examples/serving
 package main
@@ -9,78 +9,57 @@ import (
 	"fmt"
 	"log"
 
-	"rethinkkv/internal/compress"
-	"rethinkkv/internal/engine"
-	"rethinkkv/internal/gen"
-	"rethinkkv/internal/gpu"
-	"rethinkkv/internal/model"
-	"rethinkkv/internal/perf"
-	"rethinkkv/internal/predictor"
-	"rethinkkv/internal/router"
-	"rethinkkv/internal/serving"
-	"rethinkkv/internal/workload"
+	"rethinkkv"
 )
-
-func est(method string) *perf.Estimator {
-	return perf.MustNew(gpu.A6000, model.LLaMA2_7B, engine.LMDeploy, compress.MustGet(method), 1)
-}
 
 func main() {
 	const method = "stream-512"
-	lm := gen.Default()
 
-	// Train the predictor suite.
-	train := workload.SampleShareGPT(workload.DefaultShareGPT(2000), 1)
-	preds := router.Predictors{
-		Thr:  map[string]*predictor.ThroughputPredictor{},
-		Len:  map[string]*predictor.LengthPredictor{},
-		Salt: 9,
+	// 1 FP16 GPU + 3 compressed GPUs (the paper's mixed fleet), and a
+	// uniform all-compressed fleet for the baseline policy.
+	mixed, err := rethinkkv.NewCluster(
+		[]string{"fp16", method, method, method},
+		rethinkkv.WithBatchCap(64), rethinkkv.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, name := range []string{"fp16", method} {
-		m := compress.MustGet(name)
-		preds.Thr[name] = predictor.TrainThroughput(est(name), predictor.DefaultGrid(), 2)
-		preds.Len[name] = predictor.TrainLength(train, lm.Run(train, m, 3), m, 9)
-	}
-
-	// 1 FP16 GPU + 3 compressed GPUs (the paper's mixed fleet).
-	mixed := &serving.Cluster{BatchCap: 64, LM: lm, Seed: 4}
-	mixed.GPUs = append(mixed.GPUs, serving.GPUConfig{ID: 0, Method: compress.MustGet("fp16"), Est: est("fp16")})
-	for i := 1; i < 4; i++ {
-		mixed.GPUs = append(mixed.GPUs, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: est(method)})
-	}
-	uniform := &serving.Cluster{BatchCap: 64, LM: lm, Seed: 4}
-	for i := 0; i < 4; i++ {
-		uniform.GPUs = append(uniform.GPUs, serving.GPUConfig{ID: i, Method: compress.MustGet(method), Est: est(method)})
+	uniform, err := rethinkkv.NewCluster(
+		[]string{method, method, method, method},
+		rethinkkv.WithBatchCap(64), rethinkkv.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	cfg := workload.DefaultShareGPT(600)
-	cfg.RPS = 10
-	reqs := workload.SampleShareGPT(cfg, 5)
+	reqs := rethinkkv.ShareGPTTrace(600, 10, 5)
 
 	type run struct {
-		cluster *serving.Cluster
-		r       serving.Router
+		cluster *rethinkkv.Cluster
+		policy  string
 	}
 	runs := []run{
-		{uniform, router.Baseline{}},
-		{mixed, router.WithThroughput{P: preds}},
-		{mixed, router.WithLength{P: preds}},
-		{mixed, router.WithBoth{P: preds}},
+		{uniform, "baseline"},
+		{mixed, "w/throughput"},
+		{mixed, "w/length"},
+		{mixed, "w/both"},
 	}
 	fmt.Printf("%d requests @ 10 rps, 4×A6000, method %s\n\n", len(reqs), method)
 	fmt.Println("policy         mean-E2E(s)")
 	var base float64
 	for i, r := range runs {
-		out, err := r.cluster.Run(reqs, r.r)
+		router, err := r.cluster.Router(r.policy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mean := serving.MeanE2E(out)
+		out, err := r.cluster.ServeTrace(reqs, router)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := rethinkkv.MeanE2E(out)
 		if i == 0 {
 			base = mean
-			fmt.Printf("%-14s %8.2f\n", r.r.Name(), mean)
+			fmt.Printf("%-14s %8.2f\n", router.Name(), mean)
 			continue
 		}
-		fmt.Printf("%-14s %8.2f   (%.2fx vs baseline)\n", r.r.Name(), mean, base/mean)
+		fmt.Printf("%-14s %8.2f   (%.2fx vs baseline)\n", router.Name(), mean, base/mean)
 	}
 }

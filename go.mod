@@ -1,0 +1,3 @@
+module rethinkkv
+
+go 1.24

@@ -18,12 +18,14 @@ import (
 )
 
 // Pipeline runs real generation under a compression method and reports the
-// cache-level effects.
+// cache-level effects. A pipeline is reusable: each generation pass runs on
+// a fresh cache built by the method's factory, so Run and NewSession may be
+// called any number of times.
 type Pipeline struct {
-	Model  *model.Model
-	Method compress.Method
-	cache  kvcache.Cache
-	pos    int
+	Model    *model.Model
+	Method   compress.Method
+	newCache func() (kvcache.Cache, error)
+	last     kvcache.Cache
 }
 
 // NewPipeline builds a pipeline over the tiny model with the named method's
@@ -34,15 +36,19 @@ func NewPipeline(methodName string, seed uint64) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache, err := accuracy.TinyCache(methodName, m.CacheShape())
+	shape := m.CacheShape()
+	factory := func() (kvcache.Cache, error) {
+		return accuracy.TinyCache(methodName, shape)
+	}
+	cache, err := factory()
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Model: m, Method: method, cache: cache}, nil
+	return &Pipeline{Model: m, Method: method, newCache: factory, last: cache}, nil
 }
 
-// Cache exposes the underlying compressed cache for inspection.
-func (p *Pipeline) Cache() kvcache.Cache { return p.cache }
+// Cache exposes the most recent generation's cache for inspection.
+func (p *Pipeline) Cache() kvcache.Cache { return p.last }
 
 // Report summarises cache-level effects after a run.
 type Report struct {
@@ -54,41 +60,76 @@ type Report struct {
 	RetainedTokens   int // layer-0 head-0 retained entries
 }
 
-// Run prefills the prompt, greedily decodes maxNew tokens, and reports.
-func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
-	if p.pos != 0 {
-		return nil, Report{}, fmt.Errorf("core: pipeline already used; construct a fresh one")
-	}
+// Session is one generation pass: a prefilled fresh cache plus the decode
+// state needed to emit tokens one at a time. Sessions let callers stream
+// and cancel mid-generation; the parent pipeline stays reusable.
+type Session struct {
+	p      *Pipeline
+	cache  kvcache.Cache
+	pos    int
+	logits []float32
+}
+
+// NewSession prefills the prompt on a fresh cache and returns the decoding
+// state positioned at the first output token.
+func (p *Pipeline) NewSession(prompt []int) (*Session, error) {
 	if len(prompt) == 0 {
-		return nil, Report{}, fmt.Errorf("core: empty prompt")
+		return nil, fmt.Errorf("core: empty prompt")
 	}
-	res := p.Model.Prefill(prompt, p.cache)
-	if pf, ok := p.cache.(compress.Prefiller); ok {
+	cache, err := p.newCache()
+	if err != nil {
+		return nil, err
+	}
+	res := p.Model.Prefill(prompt, cache)
+	if pf, ok := cache.(compress.Prefiller); ok {
 		pf.FinishPrefill()
 	}
-	pos := len(prompt)
-	logits := res.Logits
-	var out []int
-	for i := 0; i < maxNew; i++ {
-		next := tensor.Argmax(logits)
-		out = append(out, next)
-		sr := p.Model.Forward(next, pos, p.cache)
-		logits = sr.Logits
-		pos++
-	}
-	total := pos
+	p.last = cache
+	return &Session{p: p, cache: cache, pos: len(prompt), logits: res.Logits}, nil
+}
+
+// Next greedily decodes one token and advances the session.
+func (s *Session) Next() int {
+	next := tensor.Argmax(s.logits)
+	sr := s.p.Model.Forward(next, s.pos, s.cache)
+	s.logits = sr.Logits
+	s.pos++
+	return next
+}
+
+// Pos returns the number of tokens processed so far (prompt + emitted).
+func (s *Session) Pos() int { return s.pos }
+
+// Cache exposes the session's cache for inspection.
+func (s *Session) Cache() kvcache.Cache { return s.cache }
+
+// Report summarises the session's cache-level effects so far.
+func (s *Session) Report() Report {
 	rep := Report{
-		Method:          p.Method.Name,
-		TokensProcessed: total,
-		CacheBytes:      p.cache.MemoryBytes(),
-		FP16Bytes:       kvcache.FP16Bytes(p.cache.Shape(), total),
-		RetainedTokens:  p.cache.Len(0, 0),
+		Method:          s.p.Method.Name,
+		TokensProcessed: s.pos,
+		CacheBytes:      s.cache.MemoryBytes(),
+		FP16Bytes:       kvcache.FP16Bytes(s.cache.Shape(), s.pos),
+		RetainedTokens:  s.cache.Len(0, 0),
 	}
 	if rep.CacheBytes > 0 {
 		rep.CompressionRatio = float64(rep.FP16Bytes) / float64(rep.CacheBytes)
 	}
-	p.pos = pos
-	return out, rep, nil
+	return rep
+}
+
+// Run prefills the prompt, greedily decodes maxNew tokens, and reports.
+// Each call runs on a fresh cache, so the pipeline may be reused.
+func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
+	s, err := p.NewSession(prompt)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	out := make([]int, 0, maxNew)
+	for i := 0; i < maxNew; i++ {
+		out = append(out, s.Next())
+	}
+	return out, s.Report(), nil
 }
 
 // System bundles the full-scale analytical view for one deployment choice.

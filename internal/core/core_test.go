@@ -90,8 +90,72 @@ func TestPipelineErrors(t *testing.T) {
 	if _, _, err := p.Run([]int{1}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := p.Run([]int{1}, 1); err == nil {
-		t.Fatal("reuse should error")
+	if _, _, err := p.Run([]int{1}, 1); err != nil {
+		t.Fatalf("pipeline must be reusable: %v", err)
+	}
+}
+
+func TestPipelineReuseMatchesFresh(t *testing.T) {
+	prompt := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	p, err := NewPipeline("kivi-4", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, repA, err := p.Run(prompt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, repB, err := p.Run(prompt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewPipeline("kivi-4", 5)
+	c, _, err := fresh.Run(prompt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v vs %v", i, a, b, c)
+		}
+	}
+	if repA != repB {
+		t.Fatalf("reports diverge: %+v vs %+v", repA, repB)
+	}
+}
+
+func TestSessionStreaming(t *testing.T) {
+	prompt := []int{1, 2, 3, 4}
+	p, err := NewPipeline("stream-256", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []int
+	for i := 0; i < 6; i++ {
+		streamed = append(streamed, s.Next())
+	}
+	if s.Pos() != len(prompt)+6 {
+		t.Fatalf("pos = %d", s.Pos())
+	}
+	rep := s.Report()
+	if rep.TokensProcessed != 10 || rep.CacheBytes <= 0 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	batch, _, err := p.Run(prompt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range streamed {
+		if streamed[i] != batch[i] {
+			t.Fatalf("streamed %v != batch %v", streamed, batch)
+		}
+	}
+	if _, err := p.NewSession(nil); err == nil {
+		t.Fatal("empty prompt should error")
 	}
 }
 

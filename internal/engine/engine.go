@@ -109,9 +109,12 @@ var VLLM = Profile{
 // engine-selection discussion).
 func All() []Profile { return []Profile{TRL, TRLFA, LMDeploy} }
 
+// Known returns every named profile — the resolution set of ByName.
+func Known() []Profile { return append(All(), VLLM) }
+
 // ByName returns a profile by name, including vLLM.
 func ByName(name string) (Profile, error) {
-	for _, p := range append(All(), VLLM) {
+	for _, p := range Known() {
 		if p.Name == name {
 			return p, nil
 		}

@@ -54,13 +54,15 @@ var H800 = Hardware{
 	KernelLaunch:        6e-6,
 }
 
+// All returns every hardware descriptor — the resolution set of ByName.
+func All() []Hardware { return []Hardware{A6000, H800} }
+
 // ByName returns a hardware descriptor by name.
 func ByName(name string) (Hardware, bool) {
-	switch name {
-	case A6000.Name:
-		return A6000, true
-	case H800.Name:
-		return H800, true
+	for _, h := range All() {
+		if h.Name == name {
+			return h, true
+		}
 	}
 	return Hardware{}, false
 }

@@ -99,9 +99,15 @@ var (
 	LLaMA31_8B = Config{Name: "llama-3.1-8b", Layers: 32, Heads: 32, KVHeads: 8, HeadDim: 128, FFNDim: 14336, Vocab: 128256, MaxSeq: 131072}
 )
 
-// ByName returns a full-size descriptor by its Name field.
+// All returns every named shape descriptor, full-size then tiny — the
+// resolution set of ByName.
+func All() []Config {
+	return []Config{LLaMA2_7B, LLaMA2_13B, LLaMA2_70B, Mistral7B, LLaMA31_8B, Tiny(), TinyMHA()}
+}
+
+// ByName returns a shape descriptor by its Name field.
 func ByName(name string) (Config, bool) {
-	for _, c := range []Config{LLaMA2_7B, LLaMA2_13B, LLaMA2_70B, Mistral7B, LLaMA31_8B, Tiny(), TinyMHA()} {
+	for _, c := range All() {
 		if c.Name == name {
 			return c, true
 		}

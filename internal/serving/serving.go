@@ -126,9 +126,9 @@ func (c *Cluster) Run(reqs []workload.Request, router Router) ([]Outcome, error)
 	if len(c.GPUs) == 0 {
 		return nil, fmt.Errorf("serving: empty cluster")
 	}
-	cap := c.BatchCap
-	if cap <= 0 {
-		cap = 8
+	batchCap := c.BatchCap
+	if batchCap <= 0 {
+		batchCap = 8
 	}
 	sims := make([]*gpuSim, len(c.GPUs))
 	for i, g := range c.GPUs {
@@ -141,13 +141,13 @@ func (c *Cluster) Run(reqs []workload.Request, router Router) ([]Outcome, error)
 		now := req.ArrivalTime
 		// Flush batches whose start time has passed.
 		for _, s := range sims {
-			s.flushIfStarted(now, cap, c)
+			s.flushIfStarted(now)
 		}
 		views := make([]GPUView, len(sims))
 		for i, s := range sims {
 			views[i] = GPUView{
 				ID: s.cfg.ID, Method: s.cfg.Method, Est: s.cfg.Est,
-				FreeAt: s.pendingFreeAt(c, cap), QueuedTokens: s.backlog(now), Now: now,
+				FreeAt: s.pendingFreeAt(), QueuedTokens: s.backlog(now), Now: now,
 			}
 		}
 		gi := router.Route(req, views)
@@ -156,11 +156,11 @@ func (c *Cluster) Run(reqs []workload.Request, router Router) ([]Outcome, error)
 		}
 		s := sims[gi]
 		resp := c.respLen(req, s.cfg.Method)
-		s.enqueue(job{req: req, resp: resp}, now, cap, c)
+		s.enqueue(job{req: req, resp: resp}, now, batchCap)
 	}
 	var out []Outcome
 	for _, s := range sims {
-		s.commit(cap, c) // flush remaining forming batch
+		s.commit() // flush remaining forming batch
 		out = append(out, s.outcomes...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
@@ -177,12 +177,12 @@ func (c *Cluster) respLen(req workload.Request, m compress.Method) int {
 
 // enqueue adds a job to the GPU, committing the forming batch when it has
 // already started or is full.
-func (s *gpuSim) enqueue(j job, now float64, cap int, c *Cluster) {
+func (s *gpuSim) enqueue(j job, now float64, batchCap int) {
 	if len(s.forming) == 0 {
 		s.formStart = maxF(s.freeAt, now)
 		s.forming = []job{j}
-	} else if now > s.formStart || len(s.forming) >= cap {
-		s.commit(cap, c)
+	} else if now > s.formStart || len(s.forming) >= batchCap {
+		s.commit()
 		s.formStart = maxF(s.freeAt, now)
 		s.forming = []job{j}
 	} else {
@@ -193,15 +193,15 @@ func (s *gpuSim) enqueue(j job, now float64, cap int, c *Cluster) {
 
 // flushIfStarted commits the forming batch once simulated time passes its
 // start.
-func (s *gpuSim) flushIfStarted(now float64, cap int, c *Cluster) {
+func (s *gpuSim) flushIfStarted(now float64) {
 	if len(s.forming) > 0 && now > s.formStart {
-		s.commit(cap, c)
+		s.commit()
 	}
 }
 
 // pendingFreeAt estimates when the GPU would be free including the forming
 // batch.
-func (s *gpuSim) pendingFreeAt(c *Cluster, cap int) float64 {
+func (s *gpuSim) pendingFreeAt() float64 {
 	if len(s.forming) == 0 {
 		return s.freeAt
 	}
@@ -210,7 +210,7 @@ func (s *gpuSim) pendingFreeAt(c *Cluster, cap int) float64 {
 }
 
 // commit serves the forming batch and records outcomes.
-func (s *gpuSim) commit(cap int, c *Cluster) {
+func (s *gpuSim) commit() {
 	if len(s.forming) == 0 {
 		return
 	}

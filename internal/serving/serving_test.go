@@ -172,15 +172,19 @@ func TestEmptyClusterErrors(t *testing.T) {
 	}
 }
 
-type badRouter struct{}
+type badRouter struct{ answer int }
 
-func (badRouter) Name() string                          { return "bad" }
-func (badRouter) Route(workload.Request, []GPUView) int { return 99 }
+func (badRouter) Name() string                            { return "bad" }
+func (r badRouter) Route(workload.Request, []GPUView) int { return r.answer }
 
 func TestInvalidRouteErrors(t *testing.T) {
-	c := testCluster("fp16")
-	if _, err := c.Run(testTrace(5, 1), badRouter{}); err == nil {
-		t.Fatal("expected routing error")
+	// Regression: any out-of-range router answer — negative, == len(GPUs),
+	// or far beyond — must be rejected, not index out of bounds.
+	for _, bad := range []int{-1, -99, 1, 99} {
+		c := testCluster("fp16")
+		if _, err := c.Run(testTrace(5, 1), badRouter{answer: bad}); err == nil {
+			t.Fatalf("router answer %d: expected routing error", bad)
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package rethinkkv
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+)
+
+// Option configures the public constructors (New, NewSystem, NewCluster,
+// NewEvaluator). Unknown names surface as typed errors (ErrUnknownMethod,
+// ErrUnknownModel, ...) when the constructor resolves the configuration.
+type Option func(*config)
+
+// config is the resolved functional-option state shared by all facades.
+type config struct {
+	method    string
+	model     string
+	hardware  string
+	engine    string
+	seed      uint64
+	tp        int
+	batchCap  int
+	maxNew    int
+	contSteps int
+}
+
+func defaultConfig() config {
+	return config{
+		method:    "fp16",
+		model:     "llama-2-7b",
+		hardware:  "a6000",
+		engine:    "lmdeploy",
+		seed:      1,
+		tp:        1,
+		batchCap:  64,
+		maxNew:    32,
+		contSteps: 16,
+	}
+}
+
+func buildConfig(opts []Option) config {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithMethod selects the compression method by name (see Methods()).
+// Default: "fp16".
+func WithMethod(name string) Option { return func(c *config) { c.method = name } }
+
+// WithModel selects the model shape by name (see Models()).
+// Default: "llama-2-7b".
+func WithModel(name string) Option { return func(c *config) { c.model = name } }
+
+// WithHardware selects the accelerator by name (see Hardware()).
+// Default: "a6000".
+func WithHardware(name string) Option { return func(c *config) { c.hardware = name } }
+
+// WithEngine selects the serving engine by name (see Engines()).
+// Default: "lmdeploy".
+func WithEngine(name string) Option { return func(c *config) { c.engine = name } }
+
+// WithSeed fixes the random seed for model weights, traces, and length
+// sampling. Default: 1.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithTP sets the tensor-parallel degree for the cost model. Default: 1.
+func WithTP(tp int) Option { return func(c *config) { c.tp = tp } }
+
+// WithBatchCap bounds the per-GPU batch size in cluster simulation.
+// Default: 64.
+func WithBatchCap(n int) Option { return func(c *config) { c.batchCap = n } }
+
+// WithMaxNewTokens sets how many tokens Pipeline.Generate streams per call.
+// Default: 32.
+func WithMaxNewTokens(n int) Option { return func(c *config) { c.maxNew = n } }
+
+// WithContSteps sets the greedy continuation length the accuracy evaluator
+// compares between reference and compressed runs. Default: 16.
+func WithContSteps(n int) Option { return func(c *config) { c.contSteps = n } }
+
+// resolveMethod maps a method name to its registration, with a typed error.
+func resolveMethod(name string) (compress.Method, error) {
+	m, err := compress.Get(name)
+	if err != nil {
+		return compress.Method{}, fmt.Errorf("%w: %q", ErrUnknownMethod, name)
+	}
+	return m, nil
+}
+
+// resolveModel maps a model name to its shape descriptor, with a typed error.
+func resolveModel(name string) (model.Config, error) {
+	cfg, ok := model.ByName(name)
+	if !ok {
+		return model.Config{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return cfg, nil
+}
+
+// resolveEngine maps an engine name to its profile, with a typed error.
+func resolveEngine(name string) (engine.Profile, error) {
+	p, err := engine.ByName(name)
+	if err != nil {
+		return engine.Profile{}, fmt.Errorf("%w: %q", ErrUnknownEngine, name)
+	}
+	return p, nil
+}
+
+// resolveHardware maps a hardware name to its descriptor, with a typed error.
+func resolveHardware(name string) (gpu.Hardware, error) {
+	hw, ok := gpu.ByName(name)
+	if !ok {
+		return gpu.Hardware{}, fmt.Errorf("%w: %q", ErrUnknownHardware, name)
+	}
+	return hw, nil
+}

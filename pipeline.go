@@ -1,0 +1,116 @@
+package rethinkkv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rethinkkv/internal/core"
+)
+
+// Report summarises cache-level effects of one generation pass.
+type Report = core.Report
+
+// Token is one streamed generation step.
+type Token struct {
+	// ID is the emitted vocabulary id.
+	ID int
+	// Pos is the token's absolute sequence position (prompt length + offset).
+	Pos int
+}
+
+// Pipeline runs real tiny-model generation under a compression method. A
+// pipeline is reusable and safe for sequential reuse: every Generate or Run
+// call executes on a fresh method cache.
+type Pipeline struct {
+	mu   sync.Mutex
+	cfg  config
+	core *core.Pipeline
+}
+
+// New builds a generation pipeline. Options: WithMethod, WithSeed,
+// WithMaxNewTokens. Unknown method names return ErrUnknownMethod.
+func New(opts ...Option) (*Pipeline, error) {
+	cfg := buildConfig(opts)
+	if cfg.maxNew <= 0 {
+		return nil, fmt.Errorf("%w: max new tokens must be positive, got %d", ErrInvalidOption, cfg.maxNew)
+	}
+	if _, err := resolveMethod(cfg.method); err != nil {
+		return nil, err
+	}
+	cp, err := core.NewPipeline(cfg.method, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("rethinkkv: %w", err)
+	}
+	return &Pipeline{cfg: cfg, core: cp}, nil
+}
+
+// Method returns the pipeline's compression method name.
+func (p *Pipeline) Method() string { return p.core.Method.Name }
+
+// Generate prefills the prompt and streams up to WithMaxNewTokens greedily
+// decoded tokens. The channel closes when generation completes or ctx is
+// cancelled. Each call runs on a fresh cache, so a pipeline may generate any
+// number of times. The channel is buffered to the full token budget, so the
+// producer terminates even if the consumer abandons the stream early.
+func (p *Pipeline) Generate(ctx context.Context, prompt []int) (<-chan Token, error) {
+	s, err := p.session(prompt)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Token, p.cfg.maxNew)
+	go func() {
+		defer close(ch)
+		for i := 0; i < p.cfg.maxNew; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			pos := s.Pos()
+			tok := Token{ID: s.Next(), Pos: pos}
+			select {
+			case ch <- tok:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Run prefills the prompt, greedily decodes maxNew tokens, and reports the
+// cache-level effects. Like Generate, it is re-invokable.
+func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
+	s, err := p.session(prompt)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	out := make([]int, 0, maxNew)
+	for i := 0; i < maxNew; i++ {
+		out = append(out, s.Next())
+	}
+	return out, s.Report(), nil
+}
+
+// Vocab returns the tiny model's vocabulary size — the exclusive upper
+// bound on prompt token ids.
+func (p *Pipeline) Vocab() int { return p.core.Model.Config().Vocab }
+
+// session starts one generation pass under the pipeline lock.
+func (p *Pipeline) session(prompt []int) (*core.Session, error) {
+	if len(prompt) == 0 {
+		return nil, ErrEmptyPrompt
+	}
+	vocab := p.Vocab()
+	for i, tok := range prompt {
+		if tok < 0 || tok >= vocab {
+			return nil, fmt.Errorf("%w: token %d at position %d (vocab %d)", ErrInvalidToken, tok, i, vocab)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, err := p.core.NewSession(prompt)
+	if err != nil {
+		return nil, fmt.Errorf("rethinkkv: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,68 @@
+package rethinkkv
+
+import (
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/engine"
+	"rethinkkv/internal/gpu"
+	"rethinkkv/internal/model"
+)
+
+// Methods returns every registered compression method name, sorted. The set
+// includes the paper's main methods (fp16, kivi-2/4, gear-2/4, h2o-256/512,
+// stream-256/512, snapkv-512, tova-512) and the surveyed extensions.
+func Methods() []string { return compress.Names() }
+
+// PaperMethods returns the five methods of the paper's main evaluation:
+// fp16, kivi-4, gear-4, h2o-512, stream-512.
+func PaperMethods() []string {
+	set := compress.PaperSet()
+	out := make([]string, len(set))
+	for i, m := range set {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Engines returns the serving-engine profile names the cost model supports.
+func Engines() []string {
+	all := engine.Known()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Hardware returns the accelerator descriptor names the cost model supports.
+func Hardware() []string {
+	all := gpu.All()
+	out := make([]string, len(all))
+	for i, h := range all {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// Models returns the model shape descriptor names, full-size then tiny.
+func Models() []string {
+	all := model.All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Router policy names, in the paper's Table 8 order.
+const (
+	RouterBaseline       = "baseline"
+	RouterWithThroughput = "w/throughput"
+	RouterWithLength     = "w/length"
+	RouterWithBoth       = "w/both"
+)
+
+// Routers returns the four routing policies of the paper's Section 5.4,
+// selectable by name via Cluster.Router.
+func Routers() []string {
+	return []string{RouterBaseline, RouterWithThroughput, RouterWithLength, RouterWithBoth}
+}

@@ -1,0 +1,115 @@
+package rethinkkv
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/perf"
+)
+
+// System is the analytical cost-model view of one full-scale deployment
+// choice: (hardware, model, engine, method, tensor-parallel degree). It
+// prices prefill and decode from first principles — the substrate of the
+// paper's throughput results.
+type System struct {
+	est *perf.Estimator
+}
+
+// NewSystem builds the cost model for one deployment. Options: WithHardware,
+// WithModel, WithEngine, WithMethod, WithTP. Unknown names return the
+// matching typed error.
+func NewSystem(opts ...Option) (*System, error) {
+	cfg := buildConfig(opts)
+	est, err := newEstimator(cfg, cfg.method)
+	if err != nil {
+		return nil, err
+	}
+	return &System{est: est}, nil
+}
+
+// newEstimator resolves a config (with an explicit method) to an estimator.
+func newEstimator(cfg config, method string) (*perf.Estimator, error) {
+	hw, err := resolveHardware(cfg.hardware)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := resolveModel(cfg.model)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := resolveEngine(cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	m, err := resolveMethod(method)
+	if err != nil {
+		return nil, err
+	}
+	est, err := perf.New(hw, mc, eng, m, cfg.tp)
+	if err != nil {
+		return nil, fmt.Errorf("rethinkkv: %w", err)
+	}
+	return est, nil
+}
+
+// Method returns the system's compression method name.
+func (s *System) Method() string { return s.est.Method.Name }
+
+// Model returns the system's model name.
+func (s *System) Model() string { return s.est.Model.Name }
+
+// Hardware returns the system's accelerator name.
+func (s *System) Hardware() string { return s.est.HW.Name }
+
+// Engine returns the system's serving-engine name.
+func (s *System) Engine() string { return s.est.Engine.Name }
+
+// TP returns the tensor-parallel degree.
+func (s *System) TP() int { return s.est.TP }
+
+// DecodeThroughput returns decode tokens/second for a batch at kvLen cached
+// tokens.
+func (s *System) DecodeThroughput(batch, kvLen int) float64 {
+	return s.est.DecodeThroughput(batch, kvLen)
+}
+
+// PrefillThroughput returns prompt tokens/second processed.
+func (s *System) PrefillThroughput(batch, promptLen int) float64 {
+	return s.est.PrefillThroughput(batch, promptLen)
+}
+
+// DecodeStepLatency returns the wall time of one decode step, seconds.
+func (s *System) DecodeStepLatency(batch, kvLen int) float64 {
+	return s.est.DecodeStepLatency(batch, kvLen)
+}
+
+// PrefillLatency returns the wall time to prefill a batch, seconds.
+func (s *System) PrefillLatency(batch, promptLen int) float64 {
+	return s.est.PrefillLatency(batch, promptLen)
+}
+
+// EndToEndLatency returns prefill plus decode time for one request shape,
+// seconds.
+func (s *System) EndToEndLatency(batch, promptLen, outputLen int) float64 {
+	return s.est.EndToEndLatency(batch, promptLen, outputLen)
+}
+
+// AttentionPrefillTime returns the prefill attention-layer time (Figure 3a),
+// including any method-forced score materialisation, seconds.
+func (s *System) AttentionPrefillTime(batch, promptLen int) float64 {
+	return s.est.AttentionPrefillTime(batch, promptLen)
+}
+
+// MemoryRequired returns the per-GPU bytes for weights, KV cache,
+// activations, and method workspace at a batch and KV length.
+func (s *System) MemoryRequired(batch, kvLen int) int64 {
+	return s.est.MemoryRequired(batch, kvLen)
+}
+
+// Fits reports whether the configuration fits in usable device memory.
+func (s *System) Fits(batch, kvLen int) bool { return s.est.Fits(batch, kvLen) }
+
+// CompressionRatio returns FP16 bytes over compressed bytes at seqLen under
+// the system's method.
+func (s *System) CompressionRatio(seqLen int) float64 {
+	return s.est.Method.Cost.CompressionRatio(s.est.Model.Layers, s.est.Model.KVDim(), seqLen)
+}
