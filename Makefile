@@ -17,8 +17,12 @@ build:
 test:
 	$(GO) test ./...
 
-bench-smoke:
-	$(GO) test -run XXX -bench=. -benchtime=1x .
+BENCH_PKGS = . ./internal/model ./internal/attention
 
+bench-smoke:
+	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# bench runs the decode and attention hot-path benchmarks with allocation
+# reporting; compare BenchmarkDecodeSteady against BENCH_decode.json.
 bench:
-	$(GO) test -run XXX -bench=. -benchmem .
+	$(GO) test -run XXX -bench=. -benchmem $(BENCH_PKGS)

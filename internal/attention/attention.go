@@ -72,43 +72,111 @@ func Naive(q []float32, keys, vals [][]float32) ([]float32, []float32, Traffic) 
 	return out, scores, tr
 }
 
+// onlineSoftmax is the streaming state of the FlashAttention recurrence: a
+// running max, a running (rescaled) normaliser, and the unnormalised output
+// accumulator. It lets every one-pass kernel (Flash, FlashInto, FlashStrided,
+// Paged) share the exact same arithmetic, so their outputs are bit-identical
+// regardless of how the KV entries are laid out or chunked.
+type onlineSoftmax struct {
+	out        []float32
+	runningMax float32
+	runningSum float32
+}
+
+// start initialises the recurrence over the caller-owned output buffer.
+func startOnlineSoftmax(out []float32) onlineSoftmax {
+	for j := range out {
+		out[j] = 0
+	}
+	return onlineSoftmax{out: out, runningMax: float32(math.Inf(-1))}
+}
+
+// step folds one (score, value-vector) pair into the recurrence.
+func (st *onlineSoftmax) step(s float32, v []float32) {
+	newMax := st.runningMax
+	if s > newMax {
+		newMax = s
+	}
+	correction := float32(math.Exp(float64(st.runningMax - newMax)))
+	p := float32(math.Exp(float64(s - newMax)))
+	st.runningSum = st.runningSum*correction + p
+	out := st.out
+	for j := range out {
+		out[j] = out[j]*correction + p*v[j]
+	}
+	st.runningMax = newMax
+}
+
+// finish applies the deferred normalisation.
+func (st *onlineSoftmax) finish() {
+	inv := 1 / st.runningSum
+	for j := range st.out {
+		st.out[j] *= inv
+	}
+}
+
 // Flash computes the same attention output with a single fused pass using
 // the online-softmax recurrence; K and V are each read exactly once and the
 // score vector never exists in memory. Scores are NOT available — that is
 // the point (the paper's incompatibility argument for score-based eviction).
 func Flash(q []float32, keys, vals [][]float32) ([]float32, Traffic) {
+	out := make([]float32, len(q))
+	tr := FlashInto(out, q, keys, vals)
+	return out, tr
+}
+
+// FlashInto is Flash with a caller-owned output buffer (length len(q)); it
+// allocates nothing. The decode hot path calls it once per query head with a
+// reused scratch slice.
+func FlashInto(out, q []float32, keys, vals [][]float32) Traffic {
 	d := len(q)
 	n := len(keys)
-	invSqrt := float32(1 / math.Sqrt(float64(d)))
-	out := make([]float32, d)
 	var tr Traffic
 	if n == 0 {
-		return out, tr
+		for j := range out {
+			out[j] = 0
+		}
+		return tr
 	}
-	runningMax := float32(math.Inf(-1))
-	var runningSum float32
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	st := startOnlineSoftmax(out)
 	for i := 0; i < n; i++ {
-		s := tensor.Dot(q, keys[i]) * invSqrt
-		newMax := runningMax
-		if s > newMax {
-			newMax = s
-		}
-		correction := float32(math.Exp(float64(runningMax - newMax)))
-		p := float32(math.Exp(float64(s - newMax)))
-		runningSum = runningSum*correction + p
-		for j := 0; j < d; j++ {
-			out[j] = out[j]*correction + p*vals[i][j]
-		}
-		runningMax = newMax
+		st.step(tensor.Dot(q, keys[i])*invSqrt, vals[i])
 	}
-	inv := 1 / runningSum
-	for j := range out {
-		out[j] *= inv
-	}
+	st.finish()
 	tr.ElemsRead = int64(2 * n * d) // K and V once each
 	tr.ElemsWritten = int64(d)
 	tr.Passes = 1
-	return out, tr
+	return tr
+}
+
+// FlashStrided runs the one-pass kernel over flat strided KV buffers, as
+// returned by kvcache.FlatReader.FlatSeq: entry i's key occupies
+// keys[i*stride : i*stride+len(q)] and likewise for vals. n is the entry
+// count. out is caller-owned (length len(q)); nothing is allocated.
+func FlashStrided(out, q, keys, vals []float32, stride, n int) Traffic {
+	d := len(q)
+	var tr Traffic
+	if n == 0 {
+		for j := range out {
+			out[j] = 0
+		}
+		return tr
+	}
+	if (n-1)*stride+d > len(keys) || (n-1)*stride+d > len(vals) {
+		panic("attention: strided KV buffer too short")
+	}
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	st := startOnlineSoftmax(out)
+	for i := 0; i < n; i++ {
+		off := i * stride
+		st.step(tensor.Dot(q, keys[off:off+d])*invSqrt, vals[off:off+d])
+	}
+	st.finish()
+	tr.ElemsRead = int64(2 * n * d)
+	tr.ElemsWritten = int64(d)
+	tr.Passes = 1
+	return tr
 }
 
 // FlashScores recovers the post-softmax attention scores after a Flash
@@ -131,16 +199,69 @@ func FlashScores(q []float32, keys [][]float32) ([]float32, Traffic) {
 }
 
 // Paged computes Flash attention over a block-table layout: entries arrive
-// as fixed-size pages, with the last page partially filled. Output is
-// identical to Flash on the concatenated sequence; traffic adds one
-// block-table indirection read per page.
+// as fixed-size pages, with the last page partially filled. Pages are
+// streamed through the online-softmax recurrence one entry at a time — no
+// concatenated copy of the sequence is ever materialised, which is the whole
+// point of paging. Output is bit-identical to Flash on the concatenated
+// sequence; traffic adds one block-table indirection read per page.
 func Paged(q []float32, pages [][][]float32, pageVals [][][]float32) ([]float32, Traffic) {
-	var keys, vals [][]float32
+	d := len(q)
+	out := make([]float32, d)
+	var tr Traffic
+	n := 0
 	for p := range pages {
-		keys = append(keys, pages[p]...)
-		vals = append(vals, pageVals[p]...)
+		n += len(pages[p])
 	}
-	out, tr := Flash(q, keys, vals)
-	tr.ElemsRead += int64(len(pages)) // block-table entries
+	if n == 0 {
+		tr.ElemsRead = int64(len(pages))
+		return out, tr
+	}
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	st := startOnlineSoftmax(out)
+	for p := range pages {
+		pvals := pageVals[p]
+		for i, k := range pages[p] {
+			st.step(tensor.Dot(q, k)*invSqrt, pvals[i])
+		}
+	}
+	st.finish()
+	tr.ElemsRead = int64(2*n*d) + int64(len(pages)) // K and V once each + block-table entries
+	tr.ElemsWritten = int64(d)
+	tr.Passes = 1
 	return out, tr
+}
+
+// PagedStrided streams flat page buffers (as returned by
+// kvcache.PageReader.KVPages) through the one-pass kernel for a single head:
+// within each page, entry i's key occupies keyPages[p][off+i*stride :
+// off+i*stride+len(q)] where off selects the head. out is caller-owned;
+// nothing is allocated.
+func PagedStrided(out, q []float32, keyPages, valPages [][]float32, off, stride int) Traffic {
+	d := len(q)
+	var tr Traffic
+	n := 0
+	for p := range keyPages {
+		n += len(keyPages[p]) / stride
+	}
+	if n == 0 {
+		tr.ElemsRead = int64(len(keyPages))
+		for j := range out {
+			out[j] = 0
+		}
+		return tr
+	}
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	st := startOnlineSoftmax(out)
+	for p := range keyPages {
+		kp, vp := keyPages[p], valPages[p]
+		for i := 0; i < len(kp)/stride; i++ {
+			base := off + i*stride
+			st.step(tensor.Dot(q, kp[base:base+d])*invSqrt, vp[base:base+d])
+		}
+	}
+	st.finish()
+	tr.ElemsRead = int64(2*n*d) + int64(len(keyPages))
+	tr.ElemsWritten = int64(d)
+	tr.Passes = 1
+	return tr
 }

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"rethinkkv/internal/accuracy"
 	"rethinkkv/internal/compress"
@@ -60,12 +62,15 @@ type Report struct {
 	RetainedTokens   int // layer-0 head-0 retained entries
 }
 
-// Session is one generation pass: a prefilled fresh cache plus the decode
-// state needed to emit tokens one at a time. Sessions let callers stream
-// and cancel mid-generation; the parent pipeline stays reusable.
+// Session is one generation pass: a prefilled fresh cache, a private scratch
+// workspace, and the decode state needed to emit tokens one at a time.
+// Sessions let callers stream and cancel mid-generation; the parent pipeline
+// stays reusable. Because every session owns its workspace and cache (model
+// weights are immutable), independent sessions may decode concurrently.
 type Session struct {
 	p      *Pipeline
 	cache  kvcache.Cache
+	ws     *model.Workspace
 	pos    int
 	logits []float32
 }
@@ -80,18 +85,21 @@ func (p *Pipeline) NewSession(prompt []int) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := p.Model.Prefill(prompt, cache)
+	ws := p.Model.NewWorkspace()
+	res := p.Model.PrefillInto(ws, prompt, cache)
 	if pf, ok := cache.(compress.Prefiller); ok {
 		pf.FinishPrefill()
 	}
 	p.last = cache
-	return &Session{p: p, cache: cache, pos: len(prompt), logits: res.Logits}, nil
+	return &Session{p: p, cache: cache, ws: ws, pos: len(prompt), logits: res.Logits}, nil
 }
 
-// Next greedily decodes one token and advances the session.
+// Next greedily decodes one token and advances the session. Steady-state
+// decode allocates nothing: the step runs entirely inside the session's
+// workspace and s.logits aliases its logit buffer.
 func (s *Session) Next() int {
 	next := tensor.Argmax(s.logits)
-	sr := s.p.Model.Forward(next, s.pos, s.cache)
+	sr := s.p.Model.ForwardInto(s.ws, next, s.pos, s.cache)
 	s.logits = sr.Logits
 	s.pos++
 	return next
@@ -130,6 +138,67 @@ func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
 		out = append(out, s.Next())
 	}
 	return out, s.Report(), nil
+}
+
+// RunBatch decodes maxNew tokens for every prompt, running the sessions in
+// parallel goroutines. Each session owns an isolated cache and scratch
+// workspace, so outputs are identical to running the prompts sequentially.
+// Sessions are created (and prefilled) sequentially — the method cache
+// factory and the pipeline's last-cache pointer are not synchronised — then
+// decoded concurrently. On context cancellation decoding stops early and the
+// partial outputs are returned alongside ctx.Err().
+func (p *Pipeline) RunBatch(ctx context.Context, prompts [][]int, maxNew int) ([][]int, []Report, error) {
+	sessions, err := p.NewSessions(ctx, prompts)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, reports := DecodeSessions(ctx, sessions, maxNew)
+	return outs, reports, ctx.Err()
+}
+
+// NewSessions creates (and prefills) one session per prompt, sequentially.
+// It checks ctx between prompts so a cancelled batch does not pay the
+// remaining prefill cost.
+func (p *Pipeline) NewSessions(ctx context.Context, prompts [][]int) ([]*Session, error) {
+	sessions := make([]*Session, len(prompts))
+	for i, prompt := range prompts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := p.NewSession(prompt)
+		if err != nil {
+			return nil, fmt.Errorf("core: prompt %d: %w", i, err)
+		}
+		sessions[i] = s
+	}
+	return sessions, nil
+}
+
+// DecodeSessions greedily decodes up to maxNew tokens on every session in
+// parallel goroutines, returning index-aligned token streams and reports.
+// Sessions must be distinct (each owns its cache and workspace); decoding
+// stops early when ctx is cancelled.
+func DecodeSessions(ctx context.Context, sessions []*Session, maxNew int) ([][]int, []Report) {
+	outs := make([][]int, len(sessions))
+	reports := make([]Report, len(sessions))
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			toks := make([]int, 0, maxNew)
+			for j := 0; j < maxNew; j++ {
+				if ctx.Err() != nil {
+					break
+				}
+				toks = append(toks, s.Next())
+			}
+			outs[i] = toks
+			reports[i] = s.Report()
+		}(i, s)
+	}
+	wg.Wait()
+	return outs, reports
 }
 
 // System bundles the full-scale analytical view for one deployment choice.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
@@ -181,5 +182,109 @@ func TestNewSystem(t *testing.T) {
 		if _, err := NewSystem(c[0], c[1], c[2], c[3], 1); err == nil {
 			t.Fatalf("expected error for %v", c)
 		}
+	}
+}
+
+// TestRunBatchMatchesSequential proves the concurrent batch path is a pure
+// throughput feature: per-prompt outputs and reports are identical to
+// sequential Run calls.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	prompts := [][]int{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8, 9, 10},
+		{11, 12},
+		{13, 14, 15, 16, 17},
+	}
+	const maxNew = 12
+	for _, method := range []string{"fp16", "h2o-512"} {
+		seq, err := NewPipeline(method, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOuts := make([][]int, len(prompts))
+		wantReps := make([]Report, len(prompts))
+		for i, p := range prompts {
+			out, rep, err := seq.Run(p, maxNew)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantOuts[i], wantReps[i] = out, rep
+		}
+		par, err := NewPipeline(method, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, reps, err := par.RunBatch(context.Background(), prompts, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range prompts {
+			if len(outs[i]) != maxNew {
+				t.Fatalf("%s prompt %d: got %d tokens", method, i, len(outs[i]))
+			}
+			for j := range outs[i] {
+				if outs[i][j] != wantOuts[i][j] {
+					t.Fatalf("%s prompt %d token %d: %d != %d", method, i, j, outs[i][j], wantOuts[i][j])
+				}
+			}
+			if reps[i] != wantReps[i] {
+				t.Fatalf("%s prompt %d report %+v != %+v", method, i, reps[i], wantReps[i])
+			}
+		}
+	}
+}
+
+func TestRunBatchEmptyPromptRejected(t *testing.T) {
+	p, err := NewPipeline("fp16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.RunBatch(context.Background(), [][]int{{1, 2}, nil}, 4); err == nil {
+		t.Fatal("empty prompt in batch should error")
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	p, err := NewPipeline("fp16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Pre-cancelled: rejected before any prefill work happens.
+	if _, _, err := p.RunBatch(ctx, [][]int{{1, 2, 3}}, 8); err == nil {
+		t.Fatal("cancelled context should surface an error")
+	}
+	// Cancelled mid-flight: sessions exist, decode stops early with
+	// partial outputs.
+	sessions, err := p.NewSessions(context.Background(), [][]int{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _ := DecodeSessions(ctx, sessions, 8)
+	if len(outs) != 1 || len(outs[0]) != 0 {
+		t.Fatalf("cancelled decode should stop immediately, got %v", outs)
+	}
+}
+
+// TestSessionNextZeroAllocs gates the serving hot path: steady-state greedy
+// decode through Session.Next must be allocation-free (amortised cache
+// growth aside).
+func TestSessionNextZeroAllocs(t *testing.T) {
+	p, err := NewPipeline("fp16", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := make([]int, 64)
+	for i := range prompt {
+		prompt[i] = i % 500
+	}
+	s, err := p.NewSession(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() { s.Next() })
+	if avg >= 1 {
+		t.Fatalf("Session.Next allocates %.2f/step, want amortised < 1", avg)
 	}
 }

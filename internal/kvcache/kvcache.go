@@ -3,11 +3,14 @@
 // internal/sparse), plus a full-precision reference implementation and a
 // PagedAttention-style block allocator.
 //
-// Layout: entries are stored per (layer, kv-head) as lists of per-token
-// vectors. Rotary position embeddings are applied to keys *before* caching,
-// matching the layout used by LLaMA-family inference engines. Eviction-based
-// caches may retain different token subsets per head, so all read paths are
-// addressed by (layer, head).
+// Layout: the reference cache stores entries per layer as one flat,
+// token-major []float32 growable buffer (token i, head h at offset
+// i*KVHeads*HeadDim + h*HeadDim), exposed zero-copy through FlatReader.
+// The generic Seq view materialises per-token sub-slices for caches that
+// retain irregular token subsets. Rotary position embeddings are applied to
+// keys *before* caching, matching the layout used by LLaMA-family inference
+// engines. Eviction-based caches may retain different token subsets per
+// head, so all read paths are addressed by (layer, head).
 package kvcache
 
 import "fmt"
@@ -35,7 +38,9 @@ const BytesPerElemFP16 = 2
 // Cache is the interface the model's attention layers read and write.
 //
 // Append stores the (RoPE'd) key and value vectors for the next token of a
-// layer; k and v each hold KVHeads vectors of length HeadDim. Seq returns
+// layer; k and v each hold KVHeads vectors of length HeadDim. Implementations
+// MUST copy the vectors rather than retain the slices: the model passes
+// reused scratch buffers that are overwritten on the next step. Seq returns
 // the retained entries for one head in storage order: compressed caches
 // return dequantised or pruned views here, which is what makes the accuracy
 // effects of compression real rather than modelled. Positions returns the
@@ -57,16 +62,31 @@ type Cache interface {
 // AttentionObserver is implemented by caches whose eviction policy consumes
 // attention scores (e.g. H2O). After computing attention for a step, the
 // model forwards the weights (aligned with the entries returned by Seq).
+// Observers must not retain the weights slice: it is a reused scratch buffer.
 type AttentionObserver interface {
 	ObserveAttention(layer, head int, weights []float32)
 }
 
+// FlatReader is the optional zero-copy fast path over a cache whose retained
+// entries for a head live at a regular stride in one contiguous buffer.
+// Entry i's vector occupies kv[i*stride : i*stride+HeadDim] for
+// i < Len(layer, head). The returned slices alias cache-owned storage and
+// are valid until the next Append. The full-precision cache implements it;
+// compressed caches with contiguous dequantised storage may too. Callers
+// (the model's decode hot path) use it to run strided attention kernels with
+// zero per-step view allocation, falling back to Seq otherwise.
+type FlatReader interface {
+	FlatSeq(layer, head int) (keys, values []float32, stride int)
+}
+
 // Full is the uncompressed FP16-baseline cache: every appended token is
-// retained in full precision for every head.
+// retained in full precision for every head. Storage is one flat token-major
+// growable buffer per layer (token i, head h at offset i*stride + h*HeadDim,
+// stride = KVHeads*HeadDim), so attention can stream it with zero copies.
 type Full struct {
 	shape    Shape
-	keys     [][][]float32 // [layer][token][KVHeads*HeadDim]
-	values   [][][]float32
+	keys     [][]float32 // [layer] flat token-major, len = tokens*KVHeads*HeadDim
+	values   [][]float32
 	appended int
 }
 
@@ -78,26 +98,25 @@ func NewFull(shape Shape) *Full {
 	}
 	return &Full{
 		shape:  shape,
-		keys:   make([][][]float32, shape.Layers),
-		values: make([][][]float32, shape.Layers),
+		keys:   make([][]float32, shape.Layers),
+		values: make([][]float32, shape.Layers),
 	}
 }
 
 // Shape returns the cache dimensions.
 func (c *Full) Shape() Shape { return c.shape }
 
-// Append stores one token's K/V for the given layer.
+// stride is the flat-buffer distance between consecutive tokens.
+func (c *Full) stride() int { return c.shape.KVHeads * c.shape.HeadDim }
+
+// Append stores one token's K/V for the given layer by copying the head
+// vectors onto the end of the layer's flat buffers.
 func (c *Full) Append(layer int, k, v [][]float32) {
 	c.checkAppend(layer, k, v)
-	flat := func(heads [][]float32) []float32 {
-		out := make([]float32, 0, c.shape.KVHeads*c.shape.HeadDim)
-		for _, h := range heads {
-			out = append(out, h...)
-		}
-		return out
+	for h := 0; h < c.shape.KVHeads; h++ {
+		c.keys[layer] = append(c.keys[layer], k[h]...)
+		c.values[layer] = append(c.values[layer], v[h]...)
 	}
-	c.keys[layer] = append(c.keys[layer], flat(k))
-	c.values[layer] = append(c.values[layer], flat(v))
 	if layer == c.shape.Layers-1 {
 		c.appended++
 	}
@@ -117,23 +136,41 @@ func (c *Full) checkAppend(layer int, k, v [][]float32) {
 	}
 }
 
-// Seq returns views of the retained keys and values for one head.
+// Seq returns per-token views of the retained keys and values for one head.
+// The views alias the flat buffers; only the two header slices allocate.
+// Unlike the historical per-token layout, a later Append may grow the flat
+// buffer and reallocate it: previously returned views then keep reading the
+// old (stale) backing array and pin it in memory. Read views before the next
+// Append, or copy them to retain. Hot paths should prefer FlatSeq.
 func (c *Full) Seq(layer, head int) (keys, values [][]float32) {
 	d := c.shape.HeadDim
+	stride := c.stride()
 	off := head * d
-	n := len(c.keys[layer])
+	n := c.Len(layer, 0)
 	keys = make([][]float32, n)
 	values = make([][]float32, n)
 	for i := 0; i < n; i++ {
-		keys[i] = c.keys[layer][i][off : off+d]
-		values[i] = c.values[layer][i][off : off+d]
+		keys[i] = c.keys[layer][i*stride+off : i*stride+off+d]
+		values[i] = c.values[layer][i*stride+off : i*stride+off+d]
 	}
 	return keys, values
 }
 
+// FlatSeq implements FlatReader: it returns the layer's flat buffers offset
+// to the head's lane, with entry i at kv[i*stride : i*stride+HeadDim].
+// Zero-copy and zero-allocation.
+func (c *Full) FlatSeq(layer, head int) (keys, values []float32, stride int) {
+	stride = c.stride()
+	if len(c.keys[layer]) == 0 {
+		return nil, nil, stride
+	}
+	off := head * c.shape.HeadDim
+	return c.keys[layer][off:], c.values[layer][off:], stride
+}
+
 // Positions returns 0..n-1: the full cache retains every position.
 func (c *Full) Positions(layer, head int) []int {
-	n := len(c.keys[layer])
+	n := c.Len(layer, head)
 	ps := make([]int, n)
 	for i := range ps {
 		ps[i] = i
@@ -142,7 +179,7 @@ func (c *Full) Positions(layer, head int) []int {
 }
 
 // Len reports the retained entry count for a head (uniform for Full).
-func (c *Full) Len(layer, head int) int { return len(c.keys[layer]) }
+func (c *Full) Len(layer, head int) int { return len(c.keys[layer]) / c.stride() }
 
 // TotalAppended reports how many tokens have been appended.
 func (c *Full) TotalAppended() int { return c.appended }
@@ -151,7 +188,7 @@ func (c *Full) TotalAppended() int { return c.appended }
 func (c *Full) MemoryBytes() int64 {
 	var elems int64
 	for l := range c.keys {
-		elems += int64(len(c.keys[l])) * int64(c.shape.KVHeads*c.shape.HeadDim) * 2 // K and V
+		elems += int64(len(c.keys[l])) * 2 // K and V
 	}
 	return elems * BytesPerElemFP16
 }

@@ -114,6 +114,128 @@ func TestFullLayerRange(t *testing.T) {
 	c.Append(5, k, k)
 }
 
+func TestFullFlatSeqMatchesSeq(t *testing.T) {
+	s := testShape()
+	c := NewFull(s)
+	fillCache(t, c, 9, 3)
+	for l := 0; l < s.Layers; l++ {
+		for h := 0; h < s.KVHeads; h++ {
+			keys, vals := c.Seq(l, h)
+			fk, fv, stride := c.FlatSeq(l, h)
+			if stride != s.KVHeads*s.HeadDim {
+				t.Fatalf("stride = %d", stride)
+			}
+			if n := c.Len(l, h); n != len(keys) {
+				t.Fatalf("Len %d != Seq len %d", n, len(keys))
+			}
+			for i := range keys {
+				for d := 0; d < s.HeadDim; d++ {
+					if fk[i*stride+d] != keys[i][d] {
+						t.Fatalf("flat key (%d,%d,%d,%d) mismatch", l, h, i, d)
+					}
+					if fv[i*stride+d] != vals[i][d] {
+						t.Fatalf("flat val (%d,%d,%d,%d) mismatch", l, h, i, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFullFlatSeqEmpty(t *testing.T) {
+	c := NewFull(testShape())
+	fk, fv, stride := c.FlatSeq(0, 1)
+	if fk != nil || fv != nil {
+		t.Fatal("empty cache should return nil flat buffers")
+	}
+	if stride != testShape().KVHeads*testShape().HeadDim {
+		t.Fatalf("stride = %d", stride)
+	}
+}
+
+func TestPagedKVMatchesFull(t *testing.T) {
+	s := testShape()
+	full := NewFull(s)
+	paged := NewPagedKV(s, 4) // 11 tokens → 2 full pages + partial
+	r1, r2 := rng.New(5), rng.New(5)
+	for i := 0; i < 11; i++ {
+		for l := 0; l < s.Layers; l++ {
+			k, v := randToken(r1, s)
+			full.Append(l, k, v)
+			k2, v2 := randToken(r2, s)
+			paged.Append(l, k2, v2)
+		}
+	}
+	if paged.TotalAppended() != 11 {
+		t.Fatalf("appended = %d", paged.TotalAppended())
+	}
+	for l := 0; l < s.Layers; l++ {
+		for h := 0; h < s.KVHeads; h++ {
+			if paged.Len(l, h) != full.Len(l, h) {
+				t.Fatalf("len mismatch at (%d,%d)", l, h)
+			}
+			fk, fv := full.Seq(l, h)
+			pk, pv := paged.Seq(l, h)
+			for i := range fk {
+				for d := 0; d < s.HeadDim; d++ {
+					if pk[i][d] != fk[i][d] || pv[i][d] != fv[i][d] {
+						t.Fatalf("paged entry (%d,%d,%d,%d) mismatch", l, h, i, d)
+					}
+				}
+			}
+			pos := paged.Positions(l, h)
+			for i, p := range pos {
+				if p != i {
+					t.Fatalf("positions = %v", pos)
+				}
+			}
+		}
+	}
+}
+
+func TestPagedKVPages(t *testing.T) {
+	s := testShape()
+	c := NewPagedKV(s, 4)
+	fillCache(t, c, 10, 7)
+	kp, vp, stride := c.KVPages(0)
+	if stride != s.KVHeads*s.HeadDim {
+		t.Fatalf("stride = %d", stride)
+	}
+	if len(kp) != 3 || len(vp) != 3 { // 4 + 4 + 2
+		t.Fatalf("pages = %d, %d", len(kp), len(vp))
+	}
+	if len(kp[0])/stride != 4 || len(kp[2])/stride != 2 {
+		t.Fatalf("page fills = %d, %d", len(kp[0])/stride, len(kp[2])/stride)
+	}
+	// Page contents must match the sequential view.
+	keys, _ := c.Seq(0, 1)
+	off := 1 * s.HeadDim
+	if kp[1][1*stride+off] != keys[5][0] { // page 1, token 1 == global token 5
+		t.Fatal("page content does not match Seq view")
+	}
+}
+
+func TestPagedKVMemoryChargesWholePages(t *testing.T) {
+	s := testShape()
+	c := NewPagedKV(s, 8)
+	fillCache(t, c, 1, 1) // 1 token still allocates a full 8-token page per layer
+	perPage := int64(8) * int64(s.KVHeads*s.HeadDim) * 2 * BytesPerElemFP16
+	if got, want := c.MemoryBytes(), int64(s.Layers)*perPage; got != want {
+		t.Fatalf("memory = %d, want %d (fragmentation must be charged)", got, want)
+	}
+	if c.MemoryBytes() <= NewFullFrom(t, s, 1).MemoryBytes() {
+		t.Fatal("partially-filled page must cost more than exact flat storage")
+	}
+}
+
+// NewFullFrom builds a Full cache with n tokens for comparison tests.
+func NewFullFrom(t *testing.T, s Shape, n int) *Full {
+	t.Helper()
+	c := NewFull(s)
+	fillCache(t, c, n, 1)
+	return c
+}
+
 func TestPagedGrowShrink(t *testing.T) {
 	p := NewPagedAllocator(10, 4, 100)
 	if err := p.Grow(1, 6); err != nil { // needs 2 blocks

@@ -1,0 +1,140 @@
+package kvcache
+
+// PagedKV is a full-precision cache whose K/V tensors live in fixed-size
+// flat pages instead of one contiguous buffer — the data-plane counterpart
+// of PagedAllocator's block-table bookkeeping. Each page is a token-major
+// flat []float32 block holding up to PageTokens tokens (token i of the page,
+// head h at offset i*stride + h*HeadDim, stride = KVHeads*HeadDim); the last
+// page is partially filled. Pages are never copied or concatenated on read:
+// attention streams them via PageReader (see attention.PagedStrided) or the
+// model's paged hot path, and MemoryBytes charges whole allocated pages,
+// making internal fragmentation visible exactly as a paged engine pays it.
+type PagedKV struct {
+	shape      Shape
+	pageTokens int
+	keyPages   [][][]float32 // [layer][page] flat token-major block
+	valPages   [][][]float32
+	appended   int
+}
+
+// PageReader is the zero-copy read path over page-granular flat storage.
+// KVPages returns one layer's pages; within a page, token i's vector for
+// head h occupies page[i*stride + h*HeadDim : ...+HeadDim] and the page's
+// token count is len(page)/stride. The returned slices alias cache-owned
+// storage and are valid until the next Append.
+type PageReader interface {
+	KVPages(layer int) (keyPages, valPages [][]float32, stride int)
+	PageTokens() int
+}
+
+// NewPagedKV allocates an empty paged cache with the given page size in
+// tokens. It panics on an invalid shape or non-positive page size.
+func NewPagedKV(shape Shape, pageTokens int) *PagedKV {
+	if err := shape.Validate(); err != nil {
+		panic(err)
+	}
+	if pageTokens <= 0 {
+		panic("kvcache: non-positive page size")
+	}
+	return &PagedKV{
+		shape:      shape,
+		pageTokens: pageTokens,
+		keyPages:   make([][][]float32, shape.Layers),
+		valPages:   make([][][]float32, shape.Layers),
+	}
+}
+
+// Shape returns the cache dimensions.
+func (c *PagedKV) Shape() Shape { return c.shape }
+
+// PageTokens returns the page capacity in tokens.
+func (c *PagedKV) PageTokens() int { return c.pageTokens }
+
+func (c *PagedKV) stride() int { return c.shape.KVHeads * c.shape.HeadDim }
+
+// Append stores one token's K/V for the given layer, opening a fresh page
+// when the current one is full.
+func (c *PagedKV) Append(layer int, k, v [][]float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic("kvcache: layer out of range")
+	}
+	if len(k) != c.shape.KVHeads || len(v) != c.shape.KVHeads {
+		panic("kvcache: head count mismatch on append")
+	}
+	stride := c.stride()
+	pages := c.keyPages[layer]
+	if len(pages) == 0 || len(pages[len(pages)-1]) == c.pageTokens*stride {
+		c.keyPages[layer] = append(c.keyPages[layer], make([]float32, 0, c.pageTokens*stride))
+		c.valPages[layer] = append(c.valPages[layer], make([]float32, 0, c.pageTokens*stride))
+	}
+	last := len(c.keyPages[layer]) - 1
+	for h := 0; h < c.shape.KVHeads; h++ {
+		if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
+			panic("kvcache: head dim mismatch on append")
+		}
+		c.keyPages[layer][last] = append(c.keyPages[layer][last], k[h]...)
+		c.valPages[layer][last] = append(c.valPages[layer][last], v[h]...)
+	}
+	if layer == c.shape.Layers-1 {
+		c.appended++
+	}
+}
+
+// KVPages implements PageReader with zero copies and zero allocation.
+func (c *PagedKV) KVPages(layer int) (keyPages, valPages [][]float32, stride int) {
+	return c.keyPages[layer], c.valPages[layer], c.stride()
+}
+
+// Seq returns per-token views spanning the pages — the generic (allocating)
+// read path; hot paths should stream KVPages instead.
+func (c *PagedKV) Seq(layer, head int) (keys, values [][]float32) {
+	d := c.shape.HeadDim
+	stride := c.stride()
+	off := head * d
+	n := c.Len(layer, head)
+	keys = make([][]float32, 0, n)
+	values = make([][]float32, 0, n)
+	for p := range c.keyPages[layer] {
+		kp, vp := c.keyPages[layer][p], c.valPages[layer][p]
+		for i := 0; i < len(kp)/stride; i++ {
+			base := i*stride + off
+			keys = append(keys, kp[base:base+d])
+			values = append(values, vp[base:base+d])
+		}
+	}
+	return keys, values
+}
+
+// Positions returns 0..n-1: the paged cache retains every position.
+func (c *PagedKV) Positions(layer, head int) []int {
+	n := c.Len(layer, head)
+	ps := make([]int, n)
+	for i := range ps {
+		ps[i] = i
+	}
+	return ps
+}
+
+// Len reports the retained entry count for a head (uniform for PagedKV).
+func (c *PagedKV) Len(layer, head int) int {
+	stride := c.stride()
+	n := 0
+	for _, p := range c.keyPages[layer] {
+		n += len(p) / stride
+	}
+	return n
+}
+
+// TotalAppended reports how many tokens have been appended.
+func (c *PagedKV) TotalAppended() int { return c.appended }
+
+// MemoryBytes charges every allocated page at full capacity (K and V), in
+// FP16-equivalent bytes — internal fragmentation included, as a paged engine
+// actually pays it.
+func (c *PagedKV) MemoryBytes() int64 {
+	var pages int64
+	for l := range c.keyPages {
+		pages += int64(len(c.keyPages[l]))
+	}
+	return pages * int64(c.pageTokens) * int64(c.stride()) * 2 * BytesPerElemFP16
+}

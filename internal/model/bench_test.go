@@ -31,3 +31,54 @@ func BenchmarkDecodeStep(b *testing.B) {
 		m.Forward(i%Tiny().Vocab, 256+i, cache)
 	}
 }
+
+// BenchmarkDecodeSteady measures the steady-state decode hot path: a
+// workspace-driven ForwardInto over a flat cache, with the context length
+// held inside [256, 512) so the cost per step does not depend on b.N (unlike
+// BenchmarkDecodeStep, whose cache grows for the whole run). The cache
+// rebuild every 256 steps happens off the clock.
+func BenchmarkDecodeSteady(b *testing.B) {
+	m := New(Tiny(), 1)
+	ws := m.NewWorkspace()
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % Tiny().Vocab
+	}
+	cache := kvcache.NewFull(m.CacheShape())
+	m.PrefillInto(ws, prompt, cache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cache.TotalAppended() >= 512 {
+			b.StopTimer()
+			cache = kvcache.NewFull(m.CacheShape())
+			m.PrefillInto(ws, prompt, cache)
+			b.StartTimer()
+		}
+		m.ForwardInto(ws, i%Tiny().Vocab, cache.TotalAppended(), cache)
+	}
+}
+
+// BenchmarkDecodeSteadyPaged is BenchmarkDecodeSteady over the page-granular
+// flat cache, pricing the block-table indirection of the paged hot path.
+func BenchmarkDecodeSteadyPaged(b *testing.B) {
+	m := New(Tiny(), 1)
+	ws := m.NewWorkspace()
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % Tiny().Vocab
+	}
+	cache := kvcache.NewPagedKV(m.CacheShape(), 16)
+	m.PrefillInto(ws, prompt, cache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cache.TotalAppended() >= 512 {
+			b.StopTimer()
+			cache = kvcache.NewPagedKV(m.CacheShape(), 16)
+			m.PrefillInto(ws, prompt, cache)
+			b.StartTimer()
+		}
+		m.ForwardInto(ws, i%Tiny().Vocab, cache.TotalAppended(), cache)
+	}
+}

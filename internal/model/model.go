@@ -23,11 +23,85 @@ type layerWeights struct {
 }
 
 // Model is a runnable tiny transformer with deterministic random weights.
+// Weights are immutable after New; the only mutable state is the default
+// workspace used by the convenience entry points (Forward, Prefill,
+// Generate), which therefore must not be called concurrently on one Model.
+// Concurrent decoding is safe via per-goroutine workspaces: NewWorkspace +
+// ForwardInto.
 type Model struct {
 	cfg    Config
 	embed  *tensor.Matrix // Vocab × Hidden (tied with the LM head)
 	layers []layerWeights
 	norm   []float32
+	ws     *Workspace // default workspace for the non-Into entry points
+}
+
+// Workspace holds every scratch buffer one decode stream needs, sized once
+// from the model's Config. Reusing it makes steady-state ForwardInto
+// allocation-free. A workspace belongs to exactly one decode stream at a
+// time; independent sessions decoding in parallel each own one.
+type Workspace struct {
+	h       []float32   // residual stream (hidden)
+	x       []float32   // normed activations (hidden)
+	q       []float32   // query projection (hidden)
+	k, v    []float32   // key/value projections (KVDim)
+	kHeads  [][]float32 // per-head views into k (built once)
+	vHeads  [][]float32 // per-head views into v (built once)
+	qv      []float32   // one RoPE'd query head (HeadDim)
+	attnOut []float32   // concatenated head outputs (hidden)
+	proj    []float32   // output projection (hidden)
+	gate    []float32   // FFN gate (FFNDim)
+	up      []float32   // FFN up (FFNDim)
+	down    []float32   // FFN down (hidden)
+	final   []float32   // pre-logit hidden state (hidden)
+	logits  []float32   // LM head output (Vocab)
+	probs   []float32   // temperature-sampling scratch (Vocab)
+	scores  []float32   // attention scores, grown to the sequence length
+}
+
+// NewWorkspace allocates a workspace sized for this model. The score buffer
+// starts at MaxSeq capacity so decode within the configured context window
+// never reallocates it.
+func (m *Model) NewWorkspace() *Workspace {
+	cfg := m.cfg
+	h := cfg.Hidden()
+	ws := &Workspace{
+		h:       make([]float32, h),
+		x:       make([]float32, h),
+		q:       make([]float32, h),
+		k:       make([]float32, cfg.KVDim()),
+		v:       make([]float32, cfg.KVDim()),
+		qv:      make([]float32, cfg.HeadDim),
+		attnOut: make([]float32, h),
+		proj:    make([]float32, h),
+		gate:    make([]float32, cfg.FFNDim),
+		up:      make([]float32, cfg.FFNDim),
+		down:    make([]float32, h),
+		final:   make([]float32, h),
+		logits:  make([]float32, cfg.Vocab),
+		probs:   make([]float32, cfg.Vocab),
+		scores:  make([]float32, 0, cfg.MaxSeq),
+	}
+	ws.kHeads = make([][]float32, cfg.KVHeads)
+	ws.vHeads = make([][]float32, cfg.KVHeads)
+	for kh := 0; kh < cfg.KVHeads; kh++ {
+		ws.kHeads[kh] = ws.k[kh*cfg.HeadDim : (kh+1)*cfg.HeadDim]
+		ws.vHeads[kh] = ws.v[kh*cfg.HeadDim : (kh+1)*cfg.HeadDim]
+	}
+	return ws
+}
+
+// scoresFor returns a score buffer of length n, growing the workspace's
+// backing array geometrically only when the sequence outgrows it.
+func (ws *Workspace) scoresFor(n int) []float32 {
+	if cap(ws.scores) < n {
+		newCap := 2 * cap(ws.scores)
+		if newCap < n {
+			newCap = n
+		}
+		ws.scores = make([]float32, 0, newCap)
+	}
+	return ws.scores[:n]
 }
 
 // New builds a model with weights drawn deterministically from seed, scaled
@@ -67,6 +141,7 @@ func New(cfg Config, seed uint64) *Model {
 			wDown:    randMat(cfg.FFNDim, h),
 		})
 	}
+	m.ws = m.NewWorkspace()
 	return m
 }
 
@@ -89,15 +164,40 @@ type StepResult struct {
 // Forward runs one token through the model at absolute position pos,
 // appending its KV to cache and attending over everything the cache
 // retains. It panics if token is out of vocabulary range.
+//
+// Forward uses the model's default workspace and copies the step outputs so
+// callers may retain them — two allocations per step. The zero-allocation
+// hot path is ForwardInto. Not safe for concurrent calls on one Model.
 func (m *Model) Forward(token, pos int, cache kvcache.Cache) StepResult {
+	sr := m.ForwardInto(m.ws, token, pos, cache)
+	return StepResult{
+		Logits: append([]float32(nil), sr.Logits...),
+		Hidden: append([]float32(nil), sr.Hidden...),
+	}
+}
+
+// ForwardInto is Forward with every intermediate and output buffer taken
+// from the caller-owned workspace: in steady state it performs zero heap
+// allocations. The returned StepResult aliases ws (Logits = ws scratch,
+// Hidden likewise) and is only valid until the next ForwardInto on the same
+// workspace; callers that retain results must copy them. Distinct
+// workspaces (with distinct caches) may run concurrently on one Model.
+//
+// The arithmetic is operation-for-operation identical to the historical
+// per-token slice path, so outputs are bit-identical regardless of the
+// cache's memory layout (flat, paged, or per-token views).
+func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) StepResult {
 	if token < 0 || token >= m.cfg.Vocab {
 		panic(fmt.Sprintf("model: token %d out of range", token))
 	}
 	if got, want := cache.Shape(), m.CacheShape(); got != want {
 		panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
 	}
-	h := append([]float32(nil), m.embed.Row(token)...)
+	h := ws.h
+	copy(h, m.embed.Row(token))
 	observer, _ := cache.(kvcache.AttentionObserver)
+	flat, _ := cache.(kvcache.FlatReader)
+	pager, _ := cache.(kvcache.PageReader)
 	cfg := m.cfg
 	hd := cfg.HeadDim
 	group := cfg.GroupSize()
@@ -105,69 +205,117 @@ func (m *Model) Forward(token, pos int, cache kvcache.Cache) StepResult {
 
 	for l := range m.layers {
 		lw := &m.layers[l]
-		x := tensor.RMSNorm(h, lw.attnNorm, 1e-5)
-		q := tensor.VecMat(x, lw.wq)
-		k := tensor.VecMat(x, lw.wk)
-		v := tensor.VecMat(x, lw.wv)
+		tensor.RMSNormInto(ws.x, h, lw.attnNorm, 1e-5)
+		tensor.VecMatInto(ws.q, ws.x, lw.wq)
+		tensor.VecMatInto(ws.k, ws.x, lw.wk)
+		tensor.VecMatInto(ws.v, ws.x, lw.wv)
 
-		// Split into heads, apply RoPE to q and k.
-		kHeads := make([][]float32, cfg.KVHeads)
-		vHeads := make([][]float32, cfg.KVHeads)
+		// Apply RoPE to the keys in place; ws.kHeads/ws.vHeads are
+		// prebuilt per-head views into ws.k/ws.v. Caches copy on Append.
 		for kh := 0; kh < cfg.KVHeads; kh++ {
-			kHeads[kh] = append([]float32(nil), k[kh*hd:(kh+1)*hd]...)
-			vHeads[kh] = append([]float32(nil), v[kh*hd:(kh+1)*hd]...)
-			tensor.ApplyRoPE(kHeads[kh], pos)
+			tensor.ApplyRoPE(ws.kHeads[kh], pos)
 		}
-		cache.Append(l, kHeads, vHeads)
+		cache.Append(l, ws.kHeads, ws.vHeads)
 
-		attnOut := make([]float32, cfg.Hidden())
+		attnOut := ws.attnOut
+		for i := range attnOut {
+			attnOut[i] = 0
+		}
 		for qh := 0; qh < cfg.Heads; qh++ {
-			qv := append([]float32(nil), q[qh*hd:(qh+1)*hd]...)
-			tensor.ApplyRoPE(qv, pos)
+			copy(ws.qv, ws.q[qh*hd:(qh+1)*hd])
+			tensor.ApplyRoPE(ws.qv, pos)
 			kh := qh / group
-			keys, vals := cache.Seq(l, kh)
-			scores := make([]float32, len(keys))
-			for i, kv := range keys {
-				scores[i] = tensor.Dot(qv, kv) * invSqrt
-			}
-			tensor.Softmax(scores)
-			if observer != nil {
-				observer.ObserveAttention(l, kh, scores)
-			}
 			out := attnOut[qh*hd : (qh+1)*hd]
-			for i, w := range scores {
-				tensor.AXPY(out, w, vals[i])
+			scores := ws.scoresFor(cache.Len(l, kh))
+			switch {
+			case flat != nil:
+				// Flat fast path: stream the strided buffers directly.
+				keys, vals, stride := flat.FlatSeq(l, kh)
+				tensor.DotStrided(scores, ws.qv, keys, stride)
+				tensor.Scale(scores, invSqrt)
+				tensor.Softmax(scores)
+				if observer != nil {
+					observer.ObserveAttention(l, kh, scores)
+				}
+				tensor.AXPYStrided(out, scores, vals, stride)
+			case pager != nil:
+				// Paged fast path: stream flat pages, scores first so the
+				// softmax (and any observer) sees the whole sequence.
+				kps, vps, stride := pager.KVPages(l)
+				off := kh * hd
+				i := 0
+				for p := range kps {
+					t := len(kps[p]) / stride
+					tensor.DotStrided(scores[i:i+t], ws.qv, kps[p][off:], stride)
+					i += t
+				}
+				tensor.Scale(scores, invSqrt)
+				tensor.Softmax(scores)
+				if observer != nil {
+					observer.ObserveAttention(l, kh, scores)
+				}
+				i = 0
+				for p := range vps {
+					t := len(vps[p]) / stride
+					tensor.AXPYStrided(out, scores[i:i+t], vps[p][off:], stride)
+					i += t
+				}
+			default:
+				// Generic path for caches with irregular retained sets
+				// (eviction, quantisation): per-token views from Seq.
+				keys, vals := cache.Seq(l, kh)
+				for i, kv := range keys {
+					scores[i] = tensor.Dot(ws.qv, kv) * invSqrt
+				}
+				tensor.Softmax(scores)
+				if observer != nil {
+					observer.ObserveAttention(l, kh, scores)
+				}
+				for i, w := range scores {
+					tensor.AXPY(out, w, vals[i])
+				}
 			}
 		}
-		proj := tensor.VecMat(attnOut, lw.wo)
-		tensor.AXPY(h, 1, proj)
+		tensor.VecMatInto(ws.proj, attnOut, lw.wo)
+		tensor.AXPY(h, 1, ws.proj)
 
 		// SiLU-gated FFN.
-		x = tensor.RMSNorm(h, lw.ffnNorm, 1e-5)
-		gate := tensor.VecMat(x, lw.wGate)
-		up := tensor.VecMat(x, lw.wUp)
-		tensor.SiLU(gate)
-		for i := range gate {
-			gate[i] *= up[i]
+		tensor.RMSNormInto(ws.x, h, lw.ffnNorm, 1e-5)
+		tensor.VecMatInto(ws.gate, ws.x, lw.wGate)
+		tensor.VecMatInto(ws.up, ws.x, lw.wUp)
+		tensor.SiLU(ws.gate)
+		for i := range ws.gate {
+			ws.gate[i] *= ws.up[i]
 		}
-		down := tensor.VecMat(gate, lw.wDown)
-		tensor.AXPY(h, 1, down)
+		tensor.VecMatInto(ws.down, ws.gate, lw.wDown)
+		tensor.AXPY(h, 1, ws.down)
 	}
 
-	final := tensor.RMSNorm(h, m.norm, 1e-5)
-	logits := tensor.MatVec(m.embed, final)
-	return StepResult{Logits: logits, Hidden: final}
+	tensor.RMSNormInto(ws.final, h, m.norm, 1e-5)
+	tensor.MatVecInto(ws.logits, m.embed, ws.final)
+	return StepResult{Logits: ws.logits, Hidden: ws.final}
 }
 
 // Prefill runs every prompt token through the model, filling the cache, and
-// returns the last step's result. It panics on an empty prompt.
+// returns the last step's result (copied, safe to retain). It panics on an
+// empty prompt.
 func (m *Model) Prefill(prompt []int, cache kvcache.Cache) StepResult {
+	sr := m.PrefillInto(m.ws, prompt, cache)
+	return StepResult{
+		Logits: append([]float32(nil), sr.Logits...),
+		Hidden: append([]float32(nil), sr.Hidden...),
+	}
+}
+
+// PrefillInto is Prefill over a caller-owned workspace; the result aliases
+// ws exactly like ForwardInto.
+func (m *Model) PrefillInto(ws *Workspace, prompt []int, cache kvcache.Cache) StepResult {
 	if len(prompt) == 0 {
 		panic("model: empty prompt")
 	}
 	var res StepResult
 	for i, tok := range prompt {
-		res = m.Forward(tok, i, cache)
+		res = m.ForwardInto(ws, tok, i, cache)
 	}
 	return res
 }
@@ -188,10 +336,18 @@ type GenerateResult struct {
 }
 
 // Generate greedy- or temperature-samples a continuation after the prompt.
+// It runs on the model's default workspace: decode steps allocate only the
+// per-step Hidden copy the result must retain (plus result-slice growth).
+// The temperature path reuses one probs scratch buffer across steps instead
+// of copying the logits every step.
 func (m *Model) Generate(prompt []int, cache kvcache.Cache, opt GenerateOptions) GenerateResult {
-	res := m.Prefill(prompt, cache)
+	ws := m.ws
+	res := m.PrefillInto(ws, prompt, cache)
 	r := rng.New(opt.Seed)
-	var out GenerateResult
+	out := GenerateResult{
+		Tokens:  make([]int, 0, opt.MaxNewTokens),
+		Hiddens: make([][]float32, 0, opt.MaxNewTokens),
+	}
 	pos := len(prompt)
 	logits := res.Logits
 	hidden := res.Hidden
@@ -200,22 +356,25 @@ func (m *Model) Generate(prompt []int, cache kvcache.Cache, opt GenerateOptions)
 		if opt.Temperature <= 0 {
 			next = tensor.Argmax(logits)
 		} else {
-			probs := append([]float32(nil), logits...)
-			tensor.SoftmaxTemp(probs, opt.Temperature)
-			next = sampleCategorical(r, probs)
+			copy(ws.probs, logits)
+			tensor.SoftmaxTemp(ws.probs, opt.Temperature)
+			next = sampleCategorical(r, ws.probs)
 		}
 		out.Tokens = append(out.Tokens, next)
-		out.Hiddens = append(out.Hiddens, hidden)
+		out.Hiddens = append(out.Hiddens, append([]float32(nil), hidden...))
 		if opt.EOS >= 0 && next == opt.EOS {
 			break
 		}
-		sr := m.Forward(next, pos, cache)
+		sr := m.ForwardInto(ws, next, pos, cache)
 		logits, hidden = sr.Logits, sr.Hidden
 		pos++
 	}
 	return out
 }
 
+// sampleCategorical draws from the categorical distribution in probs. It
+// consumes the (scratch) buffer in place: probs is read-only here and may be
+// overwritten by the caller on the next step.
 func sampleCategorical(r *rng.RNG, probs []float32) int {
 	u := float32(r.Float64())
 	var acc float32

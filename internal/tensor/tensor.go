@@ -2,11 +2,15 @@
 // a real (tiny) transformer in pure Go: row-major matrices, matmul, softmax,
 // RMSNorm, rotary position embeddings, and sampling helpers.
 //
-// The goal is correctness and determinism, not SIMD performance: the tiny
-// model exists so that compression algorithms (quantisation, eviction)
-// operate on real tensors and their accuracy effects are genuine. Wall-clock
-// performance of full-size models is handled by the analytical cost model in
-// internal/perf.
+// The goal is correctness and determinism first: the tiny model exists so
+// that compression algorithms (quantisation, eviction) operate on real
+// tensors and their accuracy effects are genuine. Wall-clock performance of
+// full-size models is handled by the analytical cost model in internal/perf.
+// For the decode hot path, every allocating kernel has a destination-passing
+// twin (MatVecInto, VecMatInto, RMSNormInto) and flat-KV variants
+// (DotStrided, AXPYStrided) that write into caller-owned buffers, keeping
+// steady-state decode allocation-free; the *Into/strided variants perform
+// bit-identical arithmetic to their allocating counterparts.
 package tensor
 
 import (
@@ -86,32 +90,90 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatVec returns m × v as a new vector. It panics on dimension mismatch.
 func MatVec(m *Matrix, v []float32) []float32 {
+	out := make([]float32, m.Rows)
+	MatVecInto(out, m, v)
+	return out
+}
+
+// MatVecInto computes m × v into the caller-owned dst (length m.Rows),
+// allocating nothing. Rows are processed four at a time with independent
+// accumulators — each row's summation order is unchanged, so results are
+// bit-identical to per-row Dot. It panics on dimension mismatch.
+func MatVecInto(dst []float32, m *Matrix, v []float32) {
 	if m.Cols != len(v) {
 		panic("tensor: matvec shape mismatch")
 	}
-	out := make([]float32, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), v)
+	if len(dst) != m.Rows {
+		panic("tensor: matvec dst length mismatch")
 	}
-	return out
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		r0 := m.Row(i)[:len(v)]
+		r1 := m.Row(i + 1)[:len(v)]
+		r2 := m.Row(i + 2)[:len(v)]
+		r3 := m.Row(i + 3)[:len(v)]
+		var s0, s1, s2, s3 float32
+		for j, vj := range v {
+			s0 += vj * r0[j]
+			s1 += vj * r1[j]
+			s2 += vj * r2[j]
+			s3 += vj * r3[j]
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = s0, s1, s2, s3
+	}
+	for ; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), v)
+	}
 }
 
 // VecMat returns vᵀ × m as a new vector (length m.Cols).
 func VecMat(v []float32, m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	VecMatInto(out, v, m)
+	return out
+}
+
+// VecMatInto computes vᵀ × m into the caller-owned dst (length m.Cols),
+// allocating nothing. The loop runs column-major with register accumulators
+// (four output lanes at a time), so no dst element round-trips through
+// memory between input rows; per-element accumulation order over k — and the
+// zero-skip — match the row-major formulation exactly, so results are
+// bit-identical to VecMat. It panics on dimension mismatch.
+func VecMatInto(dst, v []float32, m *Matrix) {
 	if m.Rows != len(v) {
 		panic("tensor: vecmat shape mismatch")
 	}
-	out := make([]float32, m.Cols)
-	for k, vv := range v {
-		if vv == 0 {
-			continue
-		}
-		row := m.Row(k)
-		for j := range row {
-			out[j] += vv * row[j]
-		}
+	if len(dst) != m.Cols {
+		panic("tensor: vecmat dst length mismatch")
 	}
-	return out
+	cols := m.Cols
+	data := m.Data
+	j := 0
+	for ; j+4 <= cols; j += 4 {
+		var s0, s1, s2, s3 float32
+		for k, vv := range v {
+			if vv == 0 {
+				continue
+			}
+			base := k*cols + j
+			r := data[base : base+4 : base+4]
+			s0 += vv * r[0]
+			s1 += vv * r[1]
+			s2 += vv * r[2]
+			s3 += vv * r[3]
+		}
+		dst[j], dst[j+1], dst[j+2], dst[j+3] = s0, s1, s2, s3
+	}
+	for ; j < cols; j++ {
+		var s float32
+		for k, vv := range v {
+			if vv == 0 {
+				continue
+			}
+			s += vv * data[k*cols+j]
+		}
+		dst[j] = s
+	}
 }
 
 // Dot returns the dot product of equal-length vectors.
@@ -119,9 +181,10 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic("tensor: dot length mismatch")
 	}
+	b = b[:len(a)] // bounds-check elimination hint
 	var s float32
-	for i := range a {
-		s += a[i] * b[i]
+	for i, av := range a {
+		s += av * b[i]
 	}
 	return s
 }
@@ -133,6 +196,82 @@ func AXPY(dst []float32, alpha float32, x []float32) {
 	}
 	for i := range dst {
 		dst[i] += alpha * x[i]
+	}
+}
+
+// DotStrided computes dst[i] = q · buf[i*stride : i*stride+len(q)] for every
+// i in range dst — the score pass of attention over a flat, strided KV
+// buffer. Entries are processed four at a time with independent accumulator
+// chains; within each entry the summation order is unchanged, so results are
+// bit-identical to calling Dot on per-token views of the slice-of-slices
+// layout. It panics if buf is too short.
+func DotStrided(dst, q, buf []float32, stride int) {
+	d := len(q)
+	if stride < d {
+		panic("tensor: dotstrided stride below vector length")
+	}
+	n := len(dst)
+	if n > 0 && (n-1)*stride+d > len(buf) {
+		panic("tensor: dotstrided buffer too short")
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		r0 := buf[i*stride : i*stride+d]
+		r1 := buf[(i+1)*stride : (i+1)*stride+d]
+		r2 := buf[(i+2)*stride : (i+2)*stride+d]
+		r3 := buf[(i+3)*stride : (i+3)*stride+d]
+		var s0, s1, s2, s3 float32
+		for j, qj := range q {
+			s0 += qj * r0[j]
+			s1 += qj * r1[j]
+			s2 += qj * r2[j]
+			s3 += qj * r3[j]
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = s0, s1, s2, s3
+	}
+	for ; i < n; i++ {
+		dst[i] = Dot(q, buf[i*stride:i*stride+d])
+	}
+}
+
+// AXPYStrided accumulates dst += Σ_i weights[i] * buf[i*stride : i*stride+len(dst)]
+// — the value-aggregation pass of attention over a flat, strided KV buffer.
+// The loop runs column-major with register accumulators (four output lanes
+// at a time), so each dst element never round-trips through memory between
+// entries; per-element accumulation order over i is unchanged, making
+// results bit-identical to the per-token AXPY loop over the slice-of-slices
+// layout. It panics if buf is too short.
+func AXPYStrided(dst, weights, buf []float32, stride int) {
+	d := len(dst)
+	if stride < d {
+		panic("tensor: axpystrided stride below vector length")
+	}
+	n := len(weights)
+	if n > 0 && (n-1)*stride+d > len(buf) {
+		panic("tensor: axpystrided buffer too short")
+	}
+	if n == 0 {
+		return
+	}
+	j := 0
+	for ; j+4 <= d; j += 4 {
+		s0, s1, s2, s3 := dst[j], dst[j+1], dst[j+2], dst[j+3]
+		for i, w := range weights {
+			base := i*stride + j
+			r := buf[base : base+4 : base+4]
+			s0 += w * r[0]
+			s1 += w * r[1]
+			s2 += w * r[2]
+			s3 += w * r[3]
+		}
+		dst[j], dst[j+1], dst[j+2], dst[j+3] = s0, s1, s2, s3
+	}
+	for ; j < d; j++ {
+		s := dst[j]
+		for i, w := range weights {
+			s += w * buf[i*stride+j]
+		}
+		dst[j] = s
 	}
 }
 
@@ -183,19 +322,28 @@ func SoftmaxTemp(xs []float32, temp float64) {
 // RMSNorm returns x normalized by its root-mean-square and scaled by gain,
 // as used by LLaMA-family models. eps guards the division.
 func RMSNorm(x, gain []float32, eps float32) []float32 {
+	out := make([]float32, len(x))
+	RMSNormInto(out, x, gain, eps)
+	return out
+}
+
+// RMSNormInto writes RMSNorm(x, gain) into the caller-owned dst, allocating
+// nothing. dst may alias x. It panics on length mismatch.
+func RMSNormInto(dst, x, gain []float32, eps float32) {
 	if len(x) != len(gain) {
 		panic("tensor: rmsnorm length mismatch")
+	}
+	if len(dst) != len(x) {
+		panic("tensor: rmsnorm dst length mismatch")
 	}
 	var ss float32
 	for _, v := range x {
 		ss += v * v
 	}
 	inv := 1 / float32(math.Sqrt(float64(ss/float32(len(x))+eps)))
-	out := make([]float32, len(x))
 	for i := range x {
-		out[i] = x[i] * inv * gain[i]
+		dst[i] = x[i] * inv * gain[i]
 	}
-	return out
 }
 
 // ApplyRoPE rotates the vector x (length must be even) in place by the

@@ -294,3 +294,129 @@ func TestCloneIndependent(t *testing.T) {
 		t.Fatal("clone aliases parent")
 	}
 }
+
+// randVec fills a deterministic pseudo-random vector without importing rng.
+func randVec(n int, seed float32) []float32 {
+	v := make([]float32, n)
+	x := seed
+	for i := range v {
+		x = x*1103.515245 + 12.345
+		x -= float32(int(x/97)) * 97
+		v[i] = x/48.5 - 1
+	}
+	return v
+}
+
+func TestIntoVariantsBitIdentical(t *testing.T) {
+	// Odd sizes exercise the remainder lanes of the 4-wide kernels.
+	for _, shape := range [][2]int{{4, 4}, {5, 7}, {16, 64}, {13, 130}} {
+		rows, cols := shape[0], shape[1]
+		m := NewMatrix(rows, cols)
+		copy(m.Data, randVec(rows*cols, float32(rows)))
+		v := randVec(cols, 3)
+		u := randVec(rows, 5)
+		gain := randVec(rows, 9)
+
+		want := MatVec(m, v)
+		got := make([]float32, rows)
+		MatVecInto(got, m, v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%d MatVecInto[%d] = %v, want %v", rows, cols, i, got[i], want[i])
+			}
+		}
+
+		wantVM := VecMat(u, m)
+		gotVM := make([]float32, cols)
+		for i := range gotVM {
+			gotVM[i] = 99 // Into must fully overwrite
+		}
+		VecMatInto(gotVM, u, m)
+		for i := range wantVM {
+			if gotVM[i] != wantVM[i] {
+				t.Fatalf("%dx%d VecMatInto[%d] = %v, want %v", rows, cols, i, gotVM[i], wantVM[i])
+			}
+		}
+
+		wantN := RMSNorm(u, gain, 1e-5)
+		gotN := make([]float32, rows)
+		RMSNormInto(gotN, u, gain, 1e-5)
+		for i := range wantN {
+			if gotN[i] != wantN[i] {
+				t.Fatalf("RMSNormInto[%d] mismatch", i)
+			}
+		}
+	}
+}
+
+func TestVecMatIntoSkipsZeros(t *testing.T) {
+	m := NewMatrix(3, 4)
+	copy(m.Data, randVec(12, 2))
+	u := []float32{0.5, 0, -1.25} // middle row skipped
+	want := VecMat(u, m)
+	got := make([]float32, 4)
+	VecMatInto(got, u, m)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero-skip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDotStridedMatchesDot(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 257} {
+		d, stride := 16, 48
+		q := randVec(d, 11)
+		buf := randVec(maxTest(n*stride, 1), 13)
+		dst := make([]float32, n)
+		DotStrided(dst, q, buf, stride)
+		for i := 0; i < n; i++ {
+			if want := Dot(q, buf[i*stride:i*stride+d]); dst[i] != want {
+				t.Fatalf("n=%d entry %d: %v != %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestAXPYStridedMatchesAXPY(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 100} {
+		for _, d := range []int{3, 4, 16, 18} { // odd d exercises remainder lanes
+			stride := d + 7
+			w := randVec(n, 17)
+			buf := randVec(maxTest(n*stride, 1), 19)
+			got := randVec(d, 23)
+			want := append([]float32(nil), got...)
+			AXPYStrided(got, w, buf, stride)
+			for i := 0; i < n; i++ {
+				AXPY(want, w[i], buf[i*stride:i*stride+d])
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d d=%d lane %d: %v != %v", n, d, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestStridedPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("dot stride", func() { DotStrided(make([]float32, 1), make([]float32, 8), make([]float32, 8), 4) })
+	assertPanics("dot short", func() { DotStrided(make([]float32, 3), make([]float32, 4), make([]float32, 8), 4) })
+	assertPanics("axpy stride", func() { AXPYStrided(make([]float32, 8), make([]float32, 1), make([]float32, 8), 4) })
+	assertPanics("axpy short", func() { AXPYStrided(make([]float32, 4), make([]float32, 3), make([]float32, 8), 4) })
+}
+
+func maxTest(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -77,6 +77,44 @@ func (p *Pipeline) Generate(ctx context.Context, prompt []int) (<-chan Token, er
 	return ch, nil
 }
 
+// GenerateBatch decodes up to WithMaxNewTokens greedily sampled tokens for
+// every prompt, running the decode streams in parallel goroutines. Each
+// stream owns an isolated method cache and scratch workspace over the shared
+// (immutable) model weights, so outputs are identical to calling Run on each
+// prompt sequentially. Results and reports are index-aligned with prompts.
+// On context cancellation the partial outputs decoded so far are returned
+// alongside ctx.Err().
+func (p *Pipeline) GenerateBatch(ctx context.Context, prompts [][]int) ([][]int, []Report, error) {
+	if len(prompts) == 0 {
+		return nil, nil, ErrEmptyPrompt
+	}
+	vocab := p.Vocab()
+	for i, prompt := range prompts {
+		if len(prompt) == 0 {
+			return nil, nil, fmt.Errorf("%w: prompt %d", ErrEmptyPrompt, i)
+		}
+		for j, tok := range prompt {
+			if tok < 0 || tok >= vocab {
+				return nil, nil, fmt.Errorf("%w: token %d at position %d of prompt %d (vocab %d)", ErrInvalidToken, tok, j, i, vocab)
+			}
+		}
+	}
+	// The pipeline lock guards only session creation (the shared cache
+	// factory and last-cache pointer); the decode fan-out runs unlocked so
+	// concurrent Generate/Run calls are not stalled for the whole batch.
+	p.mu.Lock()
+	sessions, err := p.core.NewSessions(ctx, prompts)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("rethinkkv: %w", err)
+	}
+	outs, reports := core.DecodeSessions(ctx, sessions, p.cfg.maxNew)
+	if err := ctx.Err(); err != nil {
+		return outs, reports, fmt.Errorf("rethinkkv: %w", err)
+	}
+	return outs, reports, nil
+}
+
 // Run prefills the prompt, greedily decodes maxNew tokens, and reports the
 // cache-level effects. Like Generate, it is re-invokable.
 func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {

@@ -477,3 +477,76 @@ func TestEvaluatorFacade(t *testing.T) {
 	bd := rethinkkv.TaskBreakdown(set, samples)
 	_ = rethinkkv.SortedGroups(bd)
 }
+
+func TestGenerateBatchMatchesRun(t *testing.T) {
+	seq, err := rethinkkv.New(rethinkkv.WithMethod("stream-512"), rethinkkv.WithSeed(3), rethinkkv.WithMaxNewTokens(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{testPrompt(16), testPrompt(9), testPrompt(32)}
+	want := make([][]int, len(prompts))
+	for i, p := range prompts {
+		out, _, err := seq.Run(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	batch, err := rethinkkv.New(rethinkkv.WithMethod("stream-512"), rethinkkv.WithSeed(3), rethinkkv.WithMaxNewTokens(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, reps, err := batch.GenerateBatch(context.Background(), prompts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(prompts) || len(reps) != len(prompts) {
+		t.Fatalf("got %d outputs, %d reports", len(outs), len(reps))
+	}
+	for i := range prompts {
+		if len(outs[i]) != len(want[i]) {
+			t.Fatalf("prompt %d: %d tokens != %d", i, len(outs[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if outs[i][j] != want[i][j] {
+				t.Fatalf("prompt %d token %d: %d != %d", i, j, outs[i][j], want[i][j])
+			}
+		}
+		if reps[i].TokensProcessed != len(prompts[i])+8 {
+			t.Fatalf("prompt %d report tokens = %d", i, reps[i].TokensProcessed)
+		}
+	}
+}
+
+func TestGenerateBatchValidation(t *testing.T) {
+	p, err := rethinkkv.New(rethinkkv.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := p.GenerateBatch(ctx, nil); !errors.Is(err, rethinkkv.ErrEmptyPrompt) {
+		t.Fatalf("nil prompts: err = %v", err)
+	}
+	if _, _, err := p.GenerateBatch(ctx, [][]int{{1}, {}}); !errors.Is(err, rethinkkv.ErrEmptyPrompt) {
+		t.Fatalf("empty prompt: err = %v", err)
+	}
+	if _, _, err := p.GenerateBatch(ctx, [][]int{{1}, {99999}}); !errors.Is(err, rethinkkv.ErrInvalidToken) {
+		t.Fatalf("invalid token: err = %v", err)
+	}
+}
+
+func TestGenerateBatchCancellation(t *testing.T) {
+	p, err := rethinkkv.New(rethinkkv.WithSeed(1), rethinkkv.WithMaxNewTokens(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs, _, err := p.GenerateBatch(ctx, [][]int{testPrompt(8)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("pre-cancelled batch should do no decode work, got %d streams", len(outs))
+	}
+}
