@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench
+.PHONY: ci fmt vet build test race-sched bench bench-smoke bench-serve
 
-ci: fmt vet build test bench-smoke
+ci: fmt vet build test race-sched bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -17,12 +17,23 @@ build:
 test:
 	$(GO) test ./...
 
+# The continuous-batching scheduler is the one concurrency-heavy package;
+# run it (and the step plane under it) under the race detector in CI.
+race-sched:
+	$(GO) test -race ./internal/sched ./internal/core
+
 BENCH_PKGS = . ./internal/model ./internal/attention
 
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
 
 # bench runs the decode and attention hot-path benchmarks with allocation
-# reporting; compare BenchmarkDecodeSteady against BENCH_decode.json.
+# reporting (compare BenchmarkDecodeSteady against BENCH_decode.json) and
+# the serving benchmark (compare against BENCH_serve.json; regenerate the
+# baseline with `go run ./cmd/servebench -out BENCH_serve.json`).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem $(BENCH_PKGS)
+	$(GO) run ./cmd/servebench
+
+bench-serve:
+	$(GO) run ./cmd/servebench -out BENCH_serve.json

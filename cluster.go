@@ -1,14 +1,21 @@
 package rethinkkv
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"rethinkkv/internal/compress"
 	"rethinkkv/internal/gen"
+	"rethinkkv/internal/model"
 	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/rng"
 	"rethinkkv/internal/router"
+	"rethinkkv/internal/sched"
 	"rethinkkv/internal/serving"
+	"rethinkkv/internal/stats"
 	"rethinkkv/internal/workload"
 )
 
@@ -73,6 +80,11 @@ func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
 	if cfg.batchCap <= 0 {
 		return nil, fmt.Errorf("%w: batch cap must be positive, got %d", ErrInvalidOption, cfg.batchCap)
 	}
+	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
+		// Only the WithRealEngine backend schedules, but an unknown policy
+		// name is a construction-time mistake either way.
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
+	}
 	sim := &serving.Cluster{BatchCap: cfg.batchCap, LM: gen.Default(), Seed: cfg.seed}
 	for i, name := range methods {
 		m, err := resolveMethod(name)
@@ -100,9 +112,16 @@ func (c *Cluster) GPUMethods() []string {
 	return out
 }
 
-// ServeTrace runs the discrete-event simulation of the request trace behind
-// the router and returns per-request outcomes sorted by request ID.
+// ServeTrace serves the request trace behind the router and returns
+// per-request outcomes sorted by request ID. By default it runs the
+// discrete-event simulation against the analytical cost model in virtual
+// time; a cluster built WithRealEngine replays the same trace through real
+// continuous-batching engines (tiny-model decode over paged KV, one engine
+// per GPU) in wall-clock time — one metrics vocabulary, two backends.
 func (c *Cluster) ServeTrace(reqs []Request, r Router) ([]Outcome, error) {
+	if c.cfg.realEngine {
+		return c.serveTraceReal(reqs, r)
+	}
 	inner := serving.Router(routerAdapter{r})
 	if nr, ok := r.(*namedRouter); ok {
 		// A named policy carries its cluster's estimators: reject a router
@@ -118,6 +137,101 @@ func (c *Cluster) ServeTrace(reqs []Request, r Router) ([]Outcome, error) {
 		return nil, fmt.Errorf("rethinkkv: %w", err)
 	}
 	return out, nil
+}
+
+// serveTraceReal replays the trace through one continuous-batching engine
+// per GPU. Arrivals are honoured in wall-clock time (the replay sleeps
+// until each request's ArrivalTime); prompts are synthesised
+// deterministically from the cluster seed at each request's PromptLen, and
+// responses are capped at WithMaxNewTokens so tiny-model replay stays
+// tractable. All engines decode the full-precision paged data plane; the
+// per-GPU method names still flow to the router, which sees live backlog
+// in its views.
+func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	m := model.New(model.Tiny(), c.cfg.seed)
+	engines := make([]*sched.Engine, len(c.sim.GPUs))
+	// One shared clock origin for every engine and the replay itself, so
+	// arrivals and outcome timestamps are comparable across GPUs.
+	epoch := time.Now()
+	for i := range engines {
+		eng, err := sched.New(m, sched.Config{
+			MaxBatch:   c.cfg.maxBatch,
+			PageTokens: c.cfg.pageTokens,
+			KVPages:    c.cfg.kvPages,
+			MaxNew:     c.cfg.maxNew,
+			Policy:     c.cfg.schedPol,
+			GPU:        i,
+			Epoch:      epoch,
+		})
+		if err != nil {
+			return nil, translateServeErr(err)
+		}
+		defer eng.Close()
+		engines[i] = eng
+	}
+
+	ordered := append([]Request(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ArrivalTime < ordered[j].ArrivalTime })
+	vocab := m.Config().Vocab
+	maxPrompt := m.Config().MaxSeq - c.cfg.maxNew
+	if maxPrompt < 1 {
+		return nil, fmt.Errorf("%w: max new tokens %d leave no prompt room within the model's %d-token context",
+			ErrInvalidOption, c.cfg.maxNew, m.Config().MaxSeq)
+	}
+	for _, req := range ordered {
+		if wait := req.ArrivalTime - time.Since(epoch).Seconds(); wait > 0 {
+			time.Sleep(time.Duration(wait * float64(time.Second)))
+		}
+		now := time.Since(epoch).Seconds()
+		views := make([]GPUView, len(engines))
+		for i, eng := range engines {
+			views[i] = GPUView{
+				ID:           i,
+				Method:       c.sim.GPUs[i].Method.Name,
+				FreeAt:       now,
+				QueuedTokens: eng.Backlog(),
+				Now:          now,
+			}
+		}
+		gi := r.Route(req, views)
+		if gi < 0 || gi >= len(engines) {
+			return nil, fmt.Errorf("rethinkkv: router %s returned invalid GPU %d", r.Name(), gi)
+		}
+		maxNew := stats.MinI(stats.MaxI(req.RefLen, 1), c.cfg.maxNew)
+		if _, err := engines[gi].Submit(context.Background(), sched.Request{
+			ID:        req.ID,
+			Prompt:    tracePrompt(req, c.cfg.seed, vocab, maxPrompt),
+			MaxNew:    maxNew,
+			Predicted: maxNew,
+			Arrival:   req.ArrivalTime,
+		}); err != nil {
+			return nil, fmt.Errorf("request %d: %w", req.ID, translateServeErr(err))
+		}
+	}
+	var out []Outcome
+	for _, eng := range engines {
+		if err := eng.Drain(context.Background()); err != nil {
+			return nil, translateServeErr(err)
+		}
+		out = append(out, eng.Outcomes()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	return out, nil
+}
+
+// tracePrompt synthesises the deterministic token sequence standing in for
+// a trace request's prompt (traces carry lengths, not tokens).
+func tracePrompt(req Request, seed uint64, vocab, maxLen int) []int {
+	n := stats.MinI(stats.MaxI(req.PromptLen, 1), maxLen)
+	r := rng.New(seed ^ (uint64(req.ID)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03))
+	prompt := make([]int, n)
+	for i := range prompt {
+		prompt[i] = r.Intn(vocab)
+	}
+	return prompt
 }
 
 // routerAdapter drives a public Router from the internal simulator.

@@ -22,6 +22,10 @@
 //	r, err := c.Router("w/both")
 //	outcomes, err := c.ServeTrace(rethinkkv.ShareGPTTrace(1000, 10, 1), r)
 //
-// Registries (Methods, Engines, Hardware, Models, Routers) list the valid
-// names; unknown names surface as typed errors (ErrUnknownMethod, ...).
+//	srv, err := rethinkkv.NewServer(rethinkkv.WithMaxBatch(8), rethinkkv.WithKVPages(256))
+//	stream, err := srv.Submit(ctx, rethinkkv.ServeRequest{Prompt: prompt}) // continuous batching
+//
+// Registries (Methods, Engines, Hardware, Models, Routers, SchedPolicies)
+// list the valid names; unknown names surface as typed errors
+// (ErrUnknownMethod, ...).
 package rethinkkv

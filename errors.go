@@ -24,4 +24,15 @@ var (
 	ErrInvalidOption = errors.New("rethinkkv: invalid option value")
 	// ErrEmptyCluster reports a cluster constructed with no GPUs.
 	ErrEmptyCluster = errors.New("rethinkkv: cluster needs at least one GPU")
+	// ErrUnknownPolicy reports a scheduling policy absent from
+	// SchedPolicies().
+	ErrUnknownPolicy = errors.New("rethinkkv: unknown scheduling policy")
+	// ErrOutOfPages reports a request that cannot fit the server's KV page
+	// budget (WithKVPages) even running alone — the paged engine's
+	// out-of-memory condition. The facade translates the internal
+	// kvcache sentinel into this one at the boundary.
+	ErrOutOfPages = errors.New("rethinkkv: request cannot fit the KV page budget")
+	// ErrServerClosed reports a Submit or Drain against a closed Server,
+	// or a Drain released because Close aborted in-flight requests.
+	ErrServerClosed = errors.New("rethinkkv: server closed")
 )

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/tensor"
+)
+
+// This file is the multi-session step plane the continuous-batching
+// scheduler (internal/sched) drives: sessions that keep no workspace of
+// their own, a shared pool of workspaces sized to the step concurrency,
+// and a parallel one-token step over any set of sessions. Unlike Session
+// (one workspace per stream, logits carried between steps), a StepSession
+// carries only its cache, position and pre-computed next token, so a pool
+// of MaxBatch workspaces serves an unbounded population of live requests.
+
+// WorkspacePool hands out model workspaces to concurrent decode steps.
+// Get allocates on demand, so the pool's steady-state size is the peak
+// step concurrency, not the number of live sessions.
+type WorkspacePool struct {
+	m    *model.Model
+	mu   sync.Mutex
+	free []*model.Workspace
+	made int
+}
+
+// NewWorkspacePool builds an empty pool over the model.
+func NewWorkspacePool(m *model.Model) *WorkspacePool {
+	return &WorkspacePool{m: m}
+}
+
+// Get returns a workspace, allocating a fresh one when none are free.
+func (p *WorkspacePool) Get() *model.Workspace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free = p.free[:n-1]
+		return ws
+	}
+	p.made++
+	return p.m.NewWorkspace()
+}
+
+// Put returns a workspace to the pool.
+func (p *WorkspacePool) Put(ws *model.Workspace) {
+	if ws == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, ws)
+	p.mu.Unlock()
+}
+
+// Allocated reports how many workspaces the pool has ever created — the
+// peak step concurrency observed.
+func (p *WorkspacePool) Allocated() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.made
+}
+
+// StepSession is one decode stream whose scratch state lives in a pooled
+// workspace only for the duration of each step. Between steps it holds
+// just the cache, the absolute position, and the already-decided next
+// token, so it can be parked indefinitely (queued, preempted) without
+// pinning a workspace.
+type StepSession struct {
+	m     *model.Model
+	cache kvcache.Cache
+	pos   int
+	next  int
+}
+
+// NewStepSession prefills the prompt into the given cache using a borrowed
+// workspace and returns the session positioned at its first output token.
+// The token sequence a StepSession emits is identical to Session.Next on
+// the same prompt and an equivalent cache.
+func NewStepSession(m *model.Model, ws *model.Workspace, prompt []int, cache kvcache.Cache) (*StepSession, error) {
+	return ResumeStepSession(m, ws, cache, 0, prompt)
+}
+
+// ResumeStepSession continues a partially prefilled cache: the cache
+// already holds pos tokens (e.g. a shared prompt prefix cloned via
+// kvcache.PagedKV.ClonePrefix) and tail is the rest of the prompt,
+// prefilled here at positions pos, pos+1, ... Because ForwardInto is
+// deterministic and the paged cache exact, the resulting decode stream is
+// bit-identical to prefilling the whole prompt cold — prefix reuse only
+// saves the recompute. tail must be non-empty: the logits of the last
+// prompt token are needed to decide the first output.
+func ResumeStepSession(m *model.Model, ws *model.Workspace, cache kvcache.Cache, pos int, tail []int) (*StepSession, error) {
+	if len(tail) == 0 {
+		return nil, fmt.Errorf("core: empty prompt tail")
+	}
+	if pos < 0 || cache.TotalAppended() != pos {
+		return nil, fmt.Errorf("core: cache holds %d tokens, resume expects %d", cache.TotalAppended(), pos)
+	}
+	var logits []float32
+	for i, tok := range tail {
+		sr := m.ForwardInto(ws, tok, pos+i, cache)
+		logits = sr.Logits
+	}
+	return &StepSession{m: m, cache: cache, pos: pos + len(tail), next: tensor.Argmax(logits)}, nil
+}
+
+// Step emits the session's next token and advances one position: the
+// emitted token is forwarded through the model (appending its KV) and the
+// following token is decided greedily from the fresh logits. The workspace
+// is only used within the call.
+func (s *StepSession) Step(ws *model.Workspace) int {
+	tok := s.next
+	sr := s.m.ForwardInto(ws, tok, s.pos, s.cache)
+	s.next = tensor.Argmax(sr.Logits)
+	s.pos++
+	return tok
+}
+
+// Pos returns the number of tokens appended so far (prompt + emitted).
+func (s *StepSession) Pos() int { return s.pos }
+
+// Cache exposes the session's cache.
+func (s *StepSession) Cache() kvcache.Cache { return s.cache }
+
+// StepAll decodes exactly one token on every session concurrently, each
+// step borrowing a workspace from the pool, and returns the emitted tokens
+// index-aligned with sessions. Sessions must be distinct and own distinct
+// caches; the shared model weights are immutable, so the steps are
+// independent. This is the iteration-level inner loop of continuous
+// batching: the caller re-forms the session set between calls.
+func StepAll(pool *WorkspacePool, sessions []*StepSession) []int {
+	toks := make([]int, len(sessions))
+	if len(sessions) == 1 {
+		ws := pool.Get()
+		toks[0] = sessions[0].Step(ws)
+		pool.Put(ws)
+		return toks
+	}
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *StepSession) {
+			defer wg.Done()
+			ws := pool.Get()
+			toks[i] = s.Step(ws)
+			pool.Put(ws)
+		}(i, s)
+	}
+	wg.Wait()
+	return toks
+}

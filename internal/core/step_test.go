@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+)
+
+// StepSession over pooled workspaces must emit exactly the tokens Session
+// emits — it is the same greedy decode restructured for workspace sharing.
+func TestStepSessionMatchesSession(t *testing.T) {
+	p, err := NewPipeline("fp16", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{
+		{1, 2, 3, 4},
+		{10, 20, 30, 40, 50, 60, 70},
+		{5},
+	}
+	const maxNew = 16
+
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		out, _, err := p.Run(prompt, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	pool := NewWorkspacePool(p.Model)
+	sessions := make([]*StepSession, len(prompts))
+	for i, prompt := range prompts {
+		ws := pool.Get()
+		s, err := NewStepSession(p.Model, ws, prompt, kvcache.NewPagedKV(p.Model.CacheShape(), 8))
+		pool.Put(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	got := make([][]int, len(prompts))
+	for step := 0; step < maxNew; step++ {
+		toks := StepAll(pool, sessions)
+		for i, tok := range toks {
+			got[i] = append(got[i], tok)
+		}
+	}
+	for i := range prompts {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("prompt %d token %d: step loop %d != session %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if n := pool.Allocated(); n > len(prompts) {
+		t.Fatalf("pool allocated %d workspaces for %d-way steps", n, len(prompts))
+	}
+}
+
+func TestNewStepSessionEmptyPrompt(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	ws := m.NewWorkspace()
+	if _, err := NewStepSession(m, ws, nil, kvcache.NewFull(m.CacheShape())); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+}

@@ -3,6 +3,8 @@ package kvcache
 import (
 	"fmt"
 	"sort"
+
+	"rethinkkv/internal/stats"
 )
 
 // PagedAllocator emulates vLLM/LMDeploy-style paged KV cache management: GPU
@@ -204,7 +206,7 @@ func (d *DualPoolPaged) Grow(seq, newLen int) error {
 	quantLen := newLen - fullLen
 	prevFull := d.FullPool.SeqLen(seq)
 	prevQuant := d.QuantPool.SeqLen(seq)
-	if err := d.FullPool.Grow(seq, maxInt(prevFull, fullLen)); err != nil {
+	if err := d.FullPool.Grow(seq, stats.MaxI(prevFull, fullLen)); err != nil {
 		return err
 	}
 	if quantLen > 0 {
@@ -233,11 +235,4 @@ func (d *DualPoolPaged) TableOps() int {
 	a1, f1 := d.FullPool.Ops()
 	a2, f2 := d.QuantPool.Ops()
 	return a1 + f1 + a2 + f2 + d.migrations
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

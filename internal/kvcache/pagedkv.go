@@ -1,5 +1,19 @@
 package kvcache
 
+import (
+	"errors"
+	"fmt"
+
+	"rethinkkv/internal/stats"
+)
+
+// ErrOutOfPages is returned when a budgeted PagedKV cannot hold more
+// tokens: the page-granular out-of-memory condition a real paged engine
+// hits when the KV pool is exhausted. The continuous-batching scheduler
+// (internal/sched) treats it as the preemption trigger. Test with
+// errors.Is; the public facade re-exports it as rethinkkv.ErrOutOfPages.
+var ErrOutOfPages = errors.New("kvcache: out of KV pages")
+
 // PagedKV is a full-precision cache whose K/V tensors live in fixed-size
 // flat pages instead of one contiguous buffer — the data-plane counterpart
 // of PagedAllocator's block-table bookkeeping. Each page is a token-major
@@ -12,9 +26,19 @@ package kvcache
 type PagedKV struct {
 	shape      Shape
 	pageTokens int
-	keyPages   [][][]float32 // [layer][page] flat token-major block
-	valPages   [][][]float32
-	appended   int
+	// maxPages bounds the per-layer page count (every layer grows in
+	// lockstep, so the budget is counted once, not per layer); 0 means
+	// unbounded. Exceeding it surfaces as ErrOutOfPages from Reserve —
+	// never as silent overgrowth.
+	maxPages int
+	keyPages [][][]float32 // [layer][page] flat token-major block
+	valPages [][][]float32
+	appended int
+	// shared marks the prefix of each layer's pages (all layers share the
+	// same count) that alias another cache's storage after ClonePrefix;
+	// those pages are full and immutable, so sharing is safe, but they
+	// must not be appended to.
+	shared int
 }
 
 // PageReader is the zero-copy read path over page-granular flat storage.
@@ -44,6 +68,55 @@ func NewPagedKV(shape Shape, pageTokens int) *PagedKV {
 	}
 }
 
+// NewPagedKVBudget is NewPagedKV with a hard per-layer page budget: once
+// the cache holds maxPages*PageTokens tokens, Reserve reports
+// ErrOutOfPages instead of growing. maxPages <= 0 means unbounded.
+func NewPagedKVBudget(shape Shape, pageTokens, maxPages int) *PagedKV {
+	c := NewPagedKV(shape, pageTokens)
+	if maxPages > 0 {
+		c.maxPages = maxPages
+	}
+	return c
+}
+
+// SetPageBudget installs or clears (n <= 0) the per-layer page budget. It
+// returns ErrOutOfPages without changing anything if the cache already
+// holds more pages than the new budget allows.
+func (c *PagedKV) SetPageBudget(n int) error {
+	if n > 0 && c.Pages() > n {
+		return fmt.Errorf("%w: %d pages already allocated, budget %d", ErrOutOfPages, c.Pages(), n)
+	}
+	c.maxPages = stats.MaxI(n, 0)
+	return nil
+}
+
+// PageBudget returns the per-layer page budget (0 = unbounded).
+func (c *PagedKV) PageBudget() int { return c.maxPages }
+
+// PagesFor returns the page count needed to hold tokens tokens at the
+// given page size.
+func PagesFor(tokens, pageTokens int) int {
+	return (tokens + pageTokens - 1) / pageTokens
+}
+
+// Pages returns the per-layer page count currently allocated.
+func (c *PagedKV) Pages() int { return PagesFor(c.appended, c.pageTokens) }
+
+// Reserve reports whether the cache can grow by extraTokens more tokens
+// under its page budget, returning ErrOutOfPages (wrapped, test with
+// errors.Is) when it cannot. This is the non-panicking admission check a
+// scheduler runs before prefilling a prompt or decoding a step; Append
+// within a successful reservation never fails.
+func (c *PagedKV) Reserve(extraTokens int) error {
+	if c.maxPages <= 0 || extraTokens <= 0 {
+		return nil
+	}
+	if need := PagesFor(c.appended+extraTokens, c.pageTokens); need > c.maxPages {
+		return fmt.Errorf("%w: need %d pages for %d tokens, budget %d", ErrOutOfPages, need, c.appended+extraTokens, c.maxPages)
+	}
+	return nil
+}
+
 // Shape returns the cache dimensions.
 func (c *PagedKV) Shape() Shape { return c.shape }
 
@@ -53,7 +126,9 @@ func (c *PagedKV) PageTokens() int { return c.pageTokens }
 func (c *PagedKV) stride() int { return c.shape.KVHeads * c.shape.HeadDim }
 
 // Append stores one token's K/V for the given layer, opening a fresh page
-// when the current one is full.
+// when the current one is full. Under a page budget callers must check
+// Reserve first: appending past the budget is a caller contract violation
+// and panics with ErrOutOfPages rather than silently overgrowing.
 func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	if layer < 0 || layer >= c.shape.Layers {
 		panic("kvcache: layer out of range")
@@ -64,6 +139,9 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	stride := c.stride()
 	pages := c.keyPages[layer]
 	if len(pages) == 0 || len(pages[len(pages)-1]) == c.pageTokens*stride {
+		if c.maxPages > 0 && len(pages) >= c.maxPages {
+			panic(fmt.Errorf("%w: unreserved append past %d-page budget", ErrOutOfPages, c.maxPages))
+		}
 		c.keyPages[layer] = append(c.keyPages[layer], make([]float32, 0, c.pageTokens*stride))
 		c.valPages[layer] = append(c.valPages[layer], make([]float32, 0, c.pageTokens*stride))
 	}
@@ -127,6 +205,56 @@ func (c *PagedKV) Len(layer, head int) int {
 
 // TotalAppended reports how many tokens have been appended.
 func (c *PagedKV) TotalAppended() int { return c.appended }
+
+// ClonePrefix returns a new cache that starts as an exact copy of c's
+// current contents — the paged data-plane counterpart of
+// SharingAllocator.Fork. Full pages are shared by reference, which is safe
+// because a full page is immutable (Append only ever writes the partial
+// last page or opens a new one); the partial last page is deep-copied so
+// the clone and the original can each keep appending without touching the
+// other — copy-on-write at clone time, exactly one partial page per layer.
+// Decode on the clone is therefore bit-identical to decode on a cold cache
+// prefilled with the same tokens, while the shared prefix is stored once.
+// The clone inherits the page budget.
+func (c *PagedKV) ClonePrefix() *PagedKV {
+	n := &PagedKV{
+		shape:      c.shape,
+		pageTokens: c.pageTokens,
+		maxPages:   c.maxPages,
+		keyPages:   make([][][]float32, c.shape.Layers),
+		valPages:   make([][][]float32, c.shape.Layers),
+		appended:   c.appended,
+	}
+	pageCap := c.pageTokens * c.stride()
+	for l := range c.keyPages {
+		n.keyPages[l] = clonePages(c.keyPages[l], pageCap)
+		n.valPages[l] = clonePages(c.valPages[l], pageCap)
+	}
+	if pages := len(c.keyPages[0]); pages > 0 {
+		n.shared = pages
+		if len(c.keyPages[0][pages-1]) < pageCap {
+			n.shared = pages - 1 // last page was deep-copied
+		}
+	}
+	return n
+}
+
+// clonePages shares full pages by reference and deep-copies a trailing
+// partial page, preserving its full capacity so in-place growth works.
+func clonePages(pages [][]float32, pageCap int) [][]float32 {
+	out := make([][]float32, len(pages))
+	copy(out, pages)
+	if n := len(pages); n > 0 && len(pages[n-1]) < pageCap {
+		cp := make([]float32, len(pages[n-1]), pageCap)
+		copy(cp, pages[n-1])
+		out[n-1] = cp
+	}
+	return out
+}
+
+// SharedPages returns how many of the cache's per-layer pages alias
+// another cache's storage (prefix reuse), for memory accounting.
+func (c *PagedKV) SharedPages() int { return c.shared }
 
 // MemoryBytes charges every allocated page at full capacity (K and V), in
 // FP16-equivalent bytes — internal fragmentation included, as a paged engine

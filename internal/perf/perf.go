@@ -25,6 +25,7 @@ import (
 	"rethinkkv/internal/engine"
 	"rethinkkv/internal/gpu"
 	"rethinkkv/internal/model"
+	"rethinkkv/internal/stats"
 )
 
 // Estimator prices serving operations for one configuration.
@@ -372,7 +373,7 @@ func (e *Estimator) MemoryRequired(batch, kvLen int) int64 {
 		if maxLen > float64(kvLen)*2 {
 			maxLen = float64(kvLen) * 2
 		}
-		cache = cache * maxLen / float64(maxInt(kvLen, 1))
+		cache = cache * maxLen / float64(stats.MaxI(kvLen, 1))
 	}
 	return int64(weights + cache + activations + workspace)
 }
@@ -381,11 +382,4 @@ func (e *Estimator) MemoryRequired(batch, kvLen int) int64 {
 // (the usable fraction after allocator reserve).
 func (e *Estimator) Fits(batch, kvLen int) bool {
 	return float64(e.MemoryRequired(batch, kvLen)) <= 0.9*float64(e.HW.VRAM)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,780 @@
+// Package sched is the continuous-batching serving engine: the control
+// plane that runs the real tiny-model decode loop (internal/core,
+// internal/model) over the paged KV data plane (kvcache.PagedKV) under a
+// global page budget.
+//
+// Where internal/serving *simulates* a cluster against the analytical cost
+// model in virtual time, this engine actually serves: requests are
+// admitted from a policy-ordered queue, join and leave the running batch
+// at every decode iteration (iteration-level scheduling), stream their
+// tokens as they are produced, and are preempted — cache dropped, request
+// requeued for recompute — when the page budget runs out. Greedy decode is
+// deterministic and the paged cache is exact, so a preempted request's
+// final token stream is bit-identical to an uninterrupted run; the
+// recompute only costs time, which the metrics expose.
+//
+// Both planes speak one metrics vocabulary: the engine emits the same
+// serving.Outcome records (TTFT, TBOT, E2E) the simulator does, in
+// wall-clock instead of simulated seconds.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rethinkkv/internal/core"
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+// Scheduling policies.
+const (
+	// PolicyFCFS admits in arrival order and preempts the newest arrival.
+	PolicyFCFS = "fcfs"
+	// PolicySJF admits the request with the fewest predicted remaining
+	// tokens first and preempts the one with the most — shortest-job-first
+	// on the length prediction the paper's router experiments use.
+	PolicySJF = "sjf-predicted"
+)
+
+// Policies lists the admission policies by name.
+func Policies() []string { return []string{PolicyFCFS, PolicySJF} }
+
+// Token is one streamed decode step, mirroring the facade's token type.
+type Token struct {
+	ID  int // emitted vocabulary id
+	Pos int // absolute sequence position (original prompt length + offset)
+}
+
+// ErrClosed reports a Submit or Drain against a closed engine.
+var ErrClosed = errors.New("sched: engine closed")
+
+// Config sizes the engine.
+type Config struct {
+	// MaxBatch bounds the number of concurrently decoding requests.
+	MaxBatch int
+	// PageTokens is the KV page size in tokens.
+	PageTokens int
+	// KVPages is the global per-layer page budget shared by all live
+	// sequences; 0 means unbounded (no preemption ever triggers).
+	KVPages int
+	// MaxNew is the default per-request decode cap.
+	MaxNew int
+	// Policy is PolicyFCFS (default) or PolicySJF.
+	Policy string
+	// GPU is the id stamped on outcomes (multi-engine replay sets it).
+	GPU int
+	// Epoch, when non-zero, is the clock origin all engine timestamps
+	// (arrivals, TTFT, finish) are measured from. Multi-engine trace
+	// replay passes one shared epoch so outcomes from different engines
+	// are comparable; zero means "engine construction time".
+	Epoch time.Time
+	// SharedPrefix, when non-empty, is prefilled once at engine start and
+	// reused for every request whose prompt strictly extends it: the
+	// request's cache starts as a copy-on-write page clone of the prefix
+	// cache (kvcache.PagedKV.ClonePrefix) and only the prompt tail is
+	// prefilled. This is the system-prompt workload optimisation: decode
+	// output is bit-identical to a cold prefill, only the prefix
+	// recompute is saved. The prefix's pages are charged against KVPages
+	// permanently.
+	SharedPrefix []int
+}
+
+func (c *Config) normalize() error {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.PageTokens <= 0 {
+		c.PageTokens = 16
+	}
+	if c.MaxNew <= 0 {
+		c.MaxNew = 32
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyFCFS
+	}
+	if c.Policy != PolicyFCFS && c.Policy != PolicySJF {
+		return fmt.Errorf("sched: unknown policy %q", c.Policy)
+	}
+	if c.KVPages < 0 {
+		return fmt.Errorf("sched: negative page budget %d", c.KVPages)
+	}
+	return nil
+}
+
+// Request is one serving request.
+type Request struct {
+	ID     int
+	Prompt []int
+	// MaxNew caps the decoded tokens; 0 uses the engine default.
+	MaxNew int
+	// Predicted is the predicted response length PolicySJF orders by;
+	// 0 falls back to MaxNew. Trace replay feeds the trace's reference
+	// length here, mirroring the paper's predictor-driven routing.
+	Predicted int
+	// Arrival is seconds since engine start; negative means "stamp at
+	// submit time" (the live-traffic case). Trace replay passes the
+	// trace's arrival so queueing delay is measured against intent.
+	Arrival float64
+}
+
+// Stats are engine-lifetime counters.
+type Stats struct {
+	Steps       int // decode iterations executed
+	Admitted    int // admissions incl. re-admissions after preemption
+	Preemptions int // evict-and-requeue events
+	Completed   int // requests finished to their token cap
+	Cancelled   int // requests retired early by their context
+	PeakRunning int // max concurrent decode streams
+	PeakPages   int // max pages in use under the budget
+	// PrefixHits counts admissions served from the shared-prefix cache;
+	// PrefixTokensSaved totals the prefill tokens those hits skipped.
+	PrefixHits        int
+	PrefixTokensSaved int
+}
+
+// reqState is one request's lifecycle state, owned by the engine loop
+// except where noted.
+type reqState struct {
+	req       Request
+	ctx       context.Context
+	ch        chan Token
+	generated []int
+	// sess/cache are non-nil only while running.
+	sess  *core.StepSession
+	cache *kvcache.PagedKV
+	// start is the first prefill start; firstTok the first emission. -1
+	// until they happen (preemption does not reset them).
+	start    float64
+	firstTok float64
+	preempts int
+	// load is this request's contribution to Engine.runningLoad while
+	// running.
+	load float64
+	// stopWatch cancels the ctx watcher that wakes the loop on
+	// cancellation; retirement calls it so completed requests do not
+	// accumulate watchers.
+	stopWatch func() bool
+	// pages is the request's private page charge against the engine
+	// budget: pages allocated at admission plus pages opened by decode,
+	// excluding pages shared with the prefix cache. Preemption and
+	// retirement release exactly this amount.
+	pages int
+	// reserved marks a first-decode-step page charged at admission
+	// (prompt length page-aligned): admission reserves it so a freshly
+	// admitted request cannot be admitted and then immediately evicted —
+	// and its prefill wasted — by its own first step's page need. The
+	// flag is consumed by the step that opens the page.
+	reserved bool
+}
+
+func (rs *reqState) remaining() int {
+	pred := rs.req.Predicted
+	if pred <= 0 {
+		pred = rs.req.MaxNew
+	}
+	if r := pred - len(rs.generated); r > 0 {
+		return r
+	}
+	return 1 // past its prediction: nearly done, highest priority under SJF
+}
+
+// Engine is a continuous-batching scheduler over one model replica.
+type Engine struct {
+	m     *model.Model
+	pool  *core.WorkspacePool
+	cfg   Config
+	start time.Time
+
+	// prefixCache holds the prefilled SharedPrefix (nil when the feature
+	// is off); it is immutable after New and cloned per matching request.
+	prefixCache *kvcache.PagedKV
+
+	// loop-private state (touched only by the run goroutine).
+	running   []*reqState
+	usedPages int
+
+	mu       sync.Mutex
+	queue    []*reqState
+	outcomes []serving.Outcome
+	stats    Stats
+	pending  int // queued + running, for Drain
+	// runningLoad mirrors the running set's admitted token load
+	// (prompt + predicted remaining) for Backlog; each reqState records
+	// its own contribution in load so removal subtracts exactly what
+	// admission added.
+	runningLoad float64
+	waiters     []chan struct{}
+	closed      bool
+	// aborted records that Close threw away pending requests: drains
+	// released by that path report ErrClosed, not success.
+	aborted bool
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+// New starts an engine over the model. The model's weights are shared and
+// immutable; multiple engines may run on one model. A SharedPrefix is
+// prefilled here, before the engine accepts traffic.
+func New(m *model.Model, cfg Config) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	start := cfg.Epoch
+	if start.IsZero() {
+		start = time.Now()
+	}
+	e := &Engine{
+		m:     m,
+		pool:  core.NewWorkspacePool(m),
+		cfg:   cfg,
+		start: start,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	if n := len(cfg.SharedPrefix); n > 0 {
+		prefixPages := kvcache.PagesFor(n, cfg.PageTokens)
+		if cfg.KVPages > 0 && prefixPages >= cfg.KVPages {
+			return nil, fmt.Errorf("%w: shared prefix needs %d pages, budget %d leaves no room for requests",
+				kvcache.ErrOutOfPages, prefixPages, cfg.KVPages)
+		}
+		cache := kvcache.NewPagedKVBudget(m.CacheShape(), cfg.PageTokens, cfg.KVPages)
+		ws := e.pool.Get()
+		e.m.PrefillInto(ws, cfg.SharedPrefix, cache)
+		e.pool.Put(ws)
+		e.prefixCache = cache
+		e.usedPages = prefixPages
+		e.stats.PeakPages = prefixPages
+	}
+	go e.loop()
+	return e, nil
+}
+
+// prefixLen returns the shared-prefix length a prompt can reuse: the full
+// configured prefix when the prompt strictly extends it, else 0. The
+// prompt must be strictly longer because the last prompt token's logits
+// (not cached) decide the first output.
+func (e *Engine) prefixLen(prompt []int) int {
+	n := len(e.cfg.SharedPrefix)
+	if e.prefixCache == nil || len(prompt) <= n {
+		return 0
+	}
+	for i, tok := range e.cfg.SharedPrefix {
+		if prompt[i] != tok {
+			return 0
+		}
+	}
+	return n
+}
+
+// privatePages returns the page charge a prompt of the given total length
+// pays beyond what it shares with the prefix cache.
+func (e *Engine) privatePages(promptLen, prefixLen int) int {
+	pages := kvcache.PagesFor(promptLen, e.cfg.PageTokens)
+	if prefixLen > 0 {
+		pages -= prefixLen / e.cfg.PageTokens // full pages are shared
+	}
+	return pages
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// now returns seconds since engine start.
+func (e *Engine) now() float64 { return time.Since(e.start).Seconds() }
+
+// Submit enqueues a request and returns its token stream. The channel is
+// buffered to the request's full token budget, so the engine never blocks
+// on a slow consumer, and closes when the request completes, its ctx is
+// cancelled, or the engine shuts down. Submit fails fast with
+// kvcache.ErrOutOfPages when the request could never fit the page budget
+// even running alone — the admission invariant that makes preemption
+// livelock-free (any admitted request can always run to completion by
+// itself).
+func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Token, error) {
+	if len(req.Prompt) == 0 {
+		return nil, fmt.Errorf("sched: empty prompt")
+	}
+	if req.MaxNew <= 0 {
+		req.MaxNew = e.cfg.MaxNew
+	}
+	if e.cfg.KVPages > 0 {
+		budget := e.cfg.KVPages
+		if e.prefixCache != nil {
+			budget -= kvcache.PagesFor(len(e.cfg.SharedPrefix), e.cfg.PageTokens)
+		}
+		need := e.privatePages(len(req.Prompt)+req.MaxNew, e.prefixLen(req.Prompt))
+		if need > budget {
+			return nil, fmt.Errorf("%w: request needs %d pages, budget %d", kvcache.ErrOutOfPages, need, budget)
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Arrival < 0 {
+		// Stamp before taking the lock: the scheduler holds it across
+		// admission prefills, and that wait is queueing delay the TTFT
+		// must include, not hide.
+		req.Arrival = e.now()
+	}
+	rs := &reqState{
+		req:      req,
+		ctx:      ctx,
+		ch:       make(chan Token, req.MaxNew),
+		start:    -1,
+		firstTok: -1,
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Wake the loop when the request's ctx is cancelled, so a queued
+	// request's stream closes promptly even while admission is blocked.
+	// Registered under mu: retirement (also under mu) must observe the
+	// stop function, or the watcher would leak.
+	rs.stopWatch = context.AfterFunc(ctx, e.kick)
+	e.queue = append(e.queue, rs)
+	e.pending++
+	e.mu.Unlock()
+	e.kick()
+	return rs.ch, nil
+}
+
+// kick wakes the loop without blocking.
+func (e *Engine) kick() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Drain blocks until every request submitted so far has retired, or ctx is
+// cancelled. Concurrent submits extend the drain. A drain released because
+// Close aborted in-flight requests reports ErrClosed — nil strictly means
+// everything submitted before the call ran to retirement.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.pending == 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{})
+	e.waiters = append(e.waiters, w)
+	e.mu.Unlock()
+	select {
+	case <-w:
+		e.mu.Lock()
+		aborted := e.aborted
+		e.mu.Unlock()
+		if aborted {
+			return ErrClosed
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts the engine down: queued and running requests have their
+// streams closed without completing. Close is idempotent and returns after
+// the loop goroutine exits.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	already := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !already {
+		e.kick()
+	}
+	<-e.done
+}
+
+// Outcomes returns the per-request records of every retired request so
+// far, sorted by request ID — the same vocabulary the simulator emits.
+func (e *Engine) Outcomes() []serving.Outcome {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := append([]serving.Outcome(nil), e.outcomes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	return out
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Backlog returns the queued-plus-running token load (prompt + predicted
+// remaining at admission), the router-visible pressure signal multi-engine
+// trace replay feeds into GPUView.QueuedTokens.
+func (e *Engine) Backlog() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.runningLoad
+	for _, rs := range e.queue {
+		b += float64(len(rs.req.Prompt) + rs.remaining())
+	}
+	return b
+}
+
+// loop is the scheduler: admit, form the iteration batch, preempt under
+// page pressure, step every running session one token, retire finishers.
+func (e *Engine) loop() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.failLocked()
+			e.mu.Unlock()
+			return
+		}
+		e.admitLocked()
+		if len(e.running) == 0 {
+			e.mu.Unlock()
+			<-e.wake
+			continue
+		}
+		e.mu.Unlock()
+
+		e.reapCancelled()
+		e.preemptForStep()
+		if len(e.running) == 0 {
+			continue
+		}
+		e.stepOnce()
+	}
+}
+
+// admitLocked moves queued requests into the running set, policy-ordered,
+// while batch slots and prompt pages are available. Prefill runs with mu
+// held: admission is part of the scheduling iteration, and Submit only
+// appends. (Chunked prefill interleaving is future work.)
+func (e *Engine) admitLocked() {
+	// Reap cancelled queued requests first: their streams must close even
+	// when admission is blocked on batch slots or pages.
+	kept := e.queue[:0]
+	for _, rs := range e.queue {
+		if rs.ctx.Err() != nil {
+			e.retireLocked(rs, false)
+			continue
+		}
+		kept = append(kept, rs)
+	}
+	e.queue = kept
+	for len(e.running) < e.cfg.MaxBatch && len(e.queue) > 0 {
+		i := e.pickLocked()
+		rs := e.queue[i]
+		if rs.ctx.Err() != nil {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.retireLocked(rs, false)
+			continue
+		}
+		prompt := rs.req.Prompt
+		if len(rs.generated) > 0 { // recompute after preemption
+			prompt = make([]int, 0, len(rs.req.Prompt)+len(rs.generated))
+			prompt = append(prompt, rs.req.Prompt...)
+			prompt = append(prompt, rs.generated...)
+		}
+		pl := e.prefixLen(prompt)
+		need := e.privatePages(len(prompt), pl)
+		if len(prompt)%e.cfg.PageTokens == 0 {
+			// The first decode step would open a page immediately;
+			// reserve it now so admission cannot thrash (admit, prefill,
+			// evict on the very next step, repeat).
+			need++
+		}
+		if e.cfg.KVPages > 0 && e.usedPages+need > e.cfg.KVPages {
+			return // head request waits for pages; keep order
+		}
+		e.queue = append(e.queue[:i], e.queue[i+1:]...)
+
+		if rs.start < 0 {
+			rs.start = e.now()
+		}
+		ws := e.pool.Get()
+		var sess *core.StepSession
+		var cache *kvcache.PagedKV
+		var err error
+		if pl > 0 {
+			// Prefix hit: start from a copy-on-write clone of the shared
+			// prefix and prefill only the tail — bit-identical to a cold
+			// prefill, minus the recompute.
+			cache = e.prefixCache.ClonePrefix()
+			if err = cache.Reserve(len(prompt) - pl); err == nil {
+				sess, err = core.ResumeStepSession(e.m, ws, cache, pl, prompt[pl:])
+				e.stats.PrefixHits++
+				e.stats.PrefixTokensSaved += pl
+			}
+		} else {
+			cache = kvcache.NewPagedKVBudget(e.m.CacheShape(), e.cfg.PageTokens, e.cfg.KVPages)
+			if err = cache.Reserve(len(prompt)); err == nil {
+				sess, err = core.NewStepSession(e.m, ws, prompt, cache)
+			}
+		}
+		e.pool.Put(ws)
+		if err != nil {
+			// Cannot happen for a validated request; retire defensively.
+			e.retireLocked(rs, false)
+			continue
+		}
+		rs.sess, rs.cache = sess, cache
+		rs.pages = need
+		rs.reserved = len(prompt)%e.cfg.PageTokens == 0
+		rs.load = float64(len(rs.req.Prompt) + rs.remaining())
+		e.runningLoad += rs.load
+		e.usedPages += need
+		e.running = append(e.running, rs)
+		e.stats.Admitted++
+		if len(e.running) > e.stats.PeakRunning {
+			e.stats.PeakRunning = len(e.running)
+		}
+		if e.usedPages > e.stats.PeakPages {
+			e.stats.PeakPages = e.usedPages
+		}
+	}
+}
+
+// pickLocked returns the queue index to admit next under the policy.
+func (e *Engine) pickLocked() int {
+	best := 0
+	for i := 1; i < len(e.queue); i++ {
+		a, b := e.queue[i], e.queue[best]
+		switch e.cfg.Policy {
+		case PolicySJF:
+			if a.remaining() < b.remaining() ||
+				(a.remaining() == b.remaining() && a.req.Arrival < b.req.Arrival) {
+				best = i
+			}
+		default: // FCFS
+			if a.req.Arrival < b.req.Arrival ||
+				(a.req.Arrival == b.req.Arrival && a.req.ID < b.req.ID) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// preemptForStep ensures the pages this iteration will open fit the
+// budget, evicting victims back to the queue (recompute on re-admission)
+// until they do. The submit-time invariant guarantees a lone request
+// always fits, so the loop terminates with at least one runner.
+func (e *Engine) preemptForStep() {
+	if e.cfg.KVPages == 0 {
+		return
+	}
+	for {
+		needs := 0
+		for _, rs := range e.running {
+			if rs.sess.Pos()%e.cfg.PageTokens == 0 && !rs.reserved {
+				needs++
+			}
+		}
+		if e.usedPages+needs <= e.cfg.KVPages || len(e.running) <= 1 {
+			return
+		}
+		v := e.victim()
+		rs := e.running[v]
+		e.running = append(e.running[:v], e.running[v+1:]...)
+		e.usedPages -= rs.pages
+		rs.pages = 0
+		rs.sess, rs.cache = nil, nil
+		rs.preempts++
+		e.mu.Lock()
+		e.stats.Preemptions++
+		e.runningLoad -= rs.load
+		rs.load = 0
+		e.queue = append(e.queue, rs)
+		e.mu.Unlock()
+	}
+}
+
+// victim picks the running index to evict: the newest arrival under FCFS
+// (minimum lost work for the oldest requests), the longest predicted
+// remainder under SJF.
+func (e *Engine) victim() int {
+	best := 0
+	for i := 1; i < len(e.running); i++ {
+		a, b := e.running[i], e.running[best]
+		switch e.cfg.Policy {
+		case PolicySJF:
+			if a.remaining() > b.remaining() ||
+				(a.remaining() == b.remaining() && a.req.Arrival > b.req.Arrival) {
+				best = i
+			}
+		default:
+			if a.req.Arrival > b.req.Arrival ||
+				(a.req.Arrival == b.req.Arrival && a.req.ID > b.req.ID) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// reapCancelled retires running requests whose context is done before
+// spending another step on them.
+func (e *Engine) reapCancelled() {
+	kept := e.running[:0]
+	for _, rs := range e.running {
+		if rs.ctx.Err() != nil {
+			e.usedPages -= rs.pages
+			rs.pages = 0
+			rs.sess, rs.cache = nil, nil
+			e.mu.Lock()
+			e.runningLoad -= rs.load
+			rs.load = 0
+			e.retireLocked(rs, false)
+			e.mu.Unlock()
+			continue
+		}
+		kept = append(kept, rs)
+	}
+	e.running = kept
+}
+
+// stepOnce decodes one token on every running session in parallel and
+// retires finishers.
+func (e *Engine) stepOnce() {
+	// Account pages the appends of this step will open (reserved
+	// first-step pages were charged at admission); preemptForStep
+	// already made room.
+	for _, rs := range e.running {
+		if rs.sess.Pos()%e.cfg.PageTokens == 0 {
+			if rs.reserved {
+				rs.reserved = false
+				continue
+			}
+			e.usedPages++
+			rs.pages++
+		}
+	}
+	if e.usedPages > e.stats.PeakPages {
+		e.mu.Lock()
+		e.stats.PeakPages = e.usedPages
+		e.mu.Unlock()
+	}
+
+	sessions := make([]*core.StepSession, len(e.running))
+	for i, rs := range e.running {
+		sessions[i] = rs.sess
+	}
+	toks := core.StepAll(e.pool, sessions)
+	now := e.now()
+
+	e.mu.Lock()
+	e.stats.Steps++
+	kept := e.running[:0]
+	for i, rs := range e.running {
+		rs.generated = append(rs.generated, toks[i])
+		if rs.firstTok < 0 {
+			rs.firstTok = now
+		}
+		rs.ch <- Token{ID: toks[i], Pos: len(rs.req.Prompt) + len(rs.generated) - 1}
+		if len(rs.generated) >= rs.req.MaxNew {
+			e.usedPages -= rs.pages
+			rs.pages = 0
+			rs.sess, rs.cache = nil, nil
+			e.runningLoad -= rs.load
+			rs.load = 0
+			e.retireLocked(rs, true)
+			continue
+		}
+		kept = append(kept, rs)
+	}
+	e.running = kept
+	e.mu.Unlock()
+}
+
+// retireLocked closes a request's stream and records its outcome. The
+// caller holds mu and has already released the request's pages.
+func (e *Engine) retireLocked(rs *reqState, completed bool) {
+	if rs.stopWatch != nil {
+		rs.stopWatch()
+	}
+	close(rs.ch)
+	now := e.now()
+	first := rs.firstTok
+	if first < 0 {
+		first = now
+	}
+	start := rs.start
+	if start < 0 {
+		start = now
+	}
+	e.outcomes = append(e.outcomes, serving.Outcome{
+		Req: workload.Request{
+			ID:          rs.req.ID,
+			PromptLen:   len(rs.req.Prompt),
+			RefLen:      rs.req.Predicted,
+			ArrivalTime: rs.req.Arrival,
+		},
+		GPU:         e.cfg.GPU,
+		RespLen:     len(rs.generated),
+		Start:       start,
+		FirstToken:  first,
+		Finish:      now,
+		Preemptions: rs.preempts,
+	})
+	if completed {
+		e.stats.Completed++
+	} else {
+		e.stats.Cancelled++
+	}
+	e.pending--
+	if e.pending == 0 {
+		for _, w := range e.waiters {
+			close(w)
+		}
+		e.waiters = nil
+	}
+}
+
+// failLocked aborts everything at Close: streams close, no outcomes are
+// recorded for unfinished work, and drain waiters are released (reporting
+// ErrClosed via the aborted flag when work was thrown away).
+func (e *Engine) failLocked() {
+	if len(e.queue) > 0 || len(e.running) > 0 {
+		e.aborted = true
+	}
+	for _, rs := range e.queue {
+		if rs.stopWatch != nil {
+			rs.stopWatch()
+		}
+		close(rs.ch)
+		e.pending--
+	}
+	e.queue = nil
+	for _, rs := range e.running {
+		if rs.stopWatch != nil {
+			rs.stopWatch()
+		}
+		close(rs.ch)
+		rs.sess, rs.cache = nil, nil
+		e.pending--
+	}
+	e.running = nil
+	e.usedPages = 0
+	if e.prefixCache != nil {
+		e.usedPages = kvcache.PagesFor(len(e.cfg.SharedPrefix), e.cfg.PageTokens)
+	}
+	e.runningLoad = 0
+	for _, w := range e.waiters {
+		close(w)
+	}
+	e.waiters = nil
+}

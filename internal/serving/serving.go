@@ -19,6 +19,7 @@ import (
 	"rethinkkv/internal/gen"
 	"rethinkkv/internal/perf"
 	"rethinkkv/internal/rng"
+	"rethinkkv/internal/stats"
 	"rethinkkv/internal/workload"
 )
 
@@ -27,62 +28,6 @@ type GPUConfig struct {
 	ID     int
 	Method compress.Method
 	Est    *perf.Estimator
-}
-
-// GPUView is the router-visible state of one GPU at decision time.
-type GPUView struct {
-	ID     int
-	Method compress.Method
-	Est    *perf.Estimator
-	// FreeAt is when the GPU finishes all committed work.
-	FreeAt float64
-	// QueuedTokens is the backlog in (prompt + expected response) tokens.
-	QueuedTokens float64
-	// Now is the decision timestamp.
-	Now float64
-}
-
-// Wait returns the expected queueing delay before new work starts.
-func (v GPUView) Wait() float64 {
-	w := v.FreeAt - v.Now
-	if w < 0 {
-		return 0
-	}
-	return w
-}
-
-// Router assigns an arriving request to a GPU.
-type Router interface {
-	Name() string
-	Route(req workload.Request, views []GPUView) int
-}
-
-// Outcome is one served request.
-type Outcome struct {
-	Req     workload.Request
-	GPU     int
-	RespLen int
-	Start   float64 // when its batch began prefill
-	// FirstToken is when the request's first output token was produced
-	// (its batch's prefill completion).
-	FirstToken float64
-	Finish     float64 // when its last token was produced
-}
-
-// E2E returns the end-to-end latency including queueing.
-func (o Outcome) E2E() float64 { return o.Finish - o.Req.ArrivalTime }
-
-// TTFT returns the time to first token including queueing — one of the two
-// key production metrics the paper names (Section 2.4).
-func (o Outcome) TTFT() float64 { return o.FirstToken - o.Req.ArrivalTime }
-
-// TBOT returns the mean time between output tokens — the paper's second
-// key production metric.
-func (o Outcome) TBOT() float64 {
-	if o.RespLen <= 1 {
-		return 0
-	}
-	return (o.Finish - o.FirstToken) / float64(o.RespLen-1)
 }
 
 // Cluster simulates a fleet of GPUs behind a router.
@@ -179,11 +124,11 @@ func (c *Cluster) respLen(req workload.Request, m compress.Method) int {
 // already started or is full.
 func (s *gpuSim) enqueue(j job, now float64, batchCap int) {
 	if len(s.forming) == 0 {
-		s.formStart = maxF(s.freeAt, now)
+		s.formStart = stats.MaxF(s.freeAt, now)
 		s.forming = []job{j}
 	} else if now > s.formStart || len(s.forming) >= batchCap {
 		s.commit()
-		s.formStart = maxF(s.freeAt, now)
+		s.formStart = stats.MaxF(s.freeAt, now)
 		s.forming = []job{j}
 	} else {
 		s.forming = append(s.forming, j)
@@ -206,7 +151,7 @@ func (s *gpuSim) pendingFreeAt() float64 {
 		return s.freeAt
 	}
 	_, _, dur := serveBatch(s.cfg.Est, s.forming)
-	return maxF(s.freeAt, s.formStart) + dur
+	return stats.MaxF(s.freeAt, s.formStart) + dur
 }
 
 // commit serves the forming batch and records outcomes.
@@ -214,7 +159,7 @@ func (s *gpuSim) commit() {
 	if len(s.forming) == 0 {
 		return
 	}
-	start := maxF(s.freeAt, s.formStart)
+	start := stats.MaxF(s.freeAt, s.formStart)
 	finishes, prefill, dur := serveBatch(s.cfg.Est, s.forming)
 	s.inflight = 0
 	for i, j := range s.forming {
@@ -272,33 +217,4 @@ func splitFor(seed uint64, reqID int, method string) *rng.RNG {
 		h = h*131 + uint64(c)
 	}
 	return rng.New(h)
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// MeanE2E returns the average end-to-end latency of a run — Table 8's cell
-// value.
-func MeanE2E(outcomes []Outcome) float64 {
-	if len(outcomes) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, o := range outcomes {
-		sum += o.E2E()
-	}
-	return sum / float64(len(outcomes))
-}
-
-// E2Es extracts per-request end-to-end latencies (Figure 5's CDF input).
-func E2Es(outcomes []Outcome) []float64 {
-	out := make([]float64, len(outcomes))
-	for i, o := range outcomes {
-		out[i] = o.E2E()
-	}
-	return out
 }

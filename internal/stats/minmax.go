@@ -1,0 +1,38 @@
+package stats
+
+// Two-argument min/max helpers shared across the repository. Several
+// packages used to carry private copies (serving's maxF, the maxInt in
+// kvcache, perf and stats itself); they live here so there is exactly one
+// definition of each.
+
+// MaxF returns the larger of a and b.
+func MaxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinF returns the smaller of a and b.
+func MinF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxI returns the larger of a and b.
+func MaxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinI returns the smaller of a and b.
+func MinI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

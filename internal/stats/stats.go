@@ -215,7 +215,7 @@ func NewKDE(xs []float64, bw float64) *KDE {
 		if sd == 0 {
 			sd = 1
 		}
-		bw = 1.06 * sd * math.Pow(float64(maxInt(len(s), 1)), -0.2)
+		bw = 1.06 * sd * math.Pow(float64(MaxI(len(s), 1)), -0.2)
 	}
 	return &KDE{samples: s, bandwidth: bw}
 }
@@ -250,13 +250,6 @@ func (k *KDE) Evaluate(lo, hi float64, n int) (xs, ys []float64) {
 		ys[i] = k.At(x)
 	}
 	return xs, ys
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Pearson returns the Pearson correlation coefficient of the paired samples.

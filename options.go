@@ -16,28 +16,38 @@ type Option func(*config)
 
 // config is the resolved functional-option state shared by all facades.
 type config struct {
-	method    string
-	model     string
-	hardware  string
-	engine    string
-	seed      uint64
-	tp        int
-	batchCap  int
-	maxNew    int
-	contSteps int
+	method       string
+	model        string
+	hardware     string
+	engine       string
+	seed         uint64
+	tp           int
+	batchCap     int
+	maxNew       int
+	contSteps    int
+	maxBatch     int
+	kvPages      int
+	pageTokens   int
+	schedPol     string
+	realEngine   bool
+	sharedPrefix []int
 }
 
 func defaultConfig() config {
 	return config{
-		method:    "fp16",
-		model:     "llama-2-7b",
-		hardware:  "a6000",
-		engine:    "lmdeploy",
-		seed:      1,
-		tp:        1,
-		batchCap:  64,
-		maxNew:    32,
-		contSteps: 16,
+		method:     "fp16",
+		model:      "llama-2-7b",
+		hardware:   "a6000",
+		engine:     "lmdeploy",
+		seed:       1,
+		tp:         1,
+		batchCap:   64,
+		maxNew:     32,
+		contSteps:  16,
+		maxBatch:   8,
+		kvPages:    0,
+		pageTokens: 16,
+		schedPol:   SchedFCFS,
 	}
 }
 
@@ -83,6 +93,37 @@ func WithMaxNewTokens(n int) Option { return func(c *config) { c.maxNew = n } }
 // WithContSteps sets the greedy continuation length the accuracy evaluator
 // compares between reference and compressed runs. Default: 16.
 func WithContSteps(n int) Option { return func(c *config) { c.contSteps = n } }
+
+// WithMaxBatch bounds how many requests the continuous-batching server
+// decodes concurrently per iteration. Default: 8.
+func WithMaxBatch(n int) Option { return func(c *config) { c.maxBatch = n } }
+
+// WithKVPages sets the server's global KV page budget (per-layer pages
+// shared by all live sequences); when it runs out, the scheduler preempts
+// and later recomputes. 0 (the default) means unbounded.
+func WithKVPages(n int) Option { return func(c *config) { c.kvPages = n } }
+
+// WithPageTokens sets the KV page size in tokens for the server's paged
+// cache. Default: 16.
+func WithPageTokens(n int) Option { return func(c *config) { c.pageTokens = n } }
+
+// WithSchedPolicy selects the server's admission/preemption policy by name
+// (see SchedPolicies()): SchedFCFS or SchedSJF. Default: SchedFCFS.
+func WithSchedPolicy(name string) Option { return func(c *config) { c.schedPol = name } }
+
+// WithSharedPrefix installs a shared prompt prefix (e.g. a system prompt)
+// the server prefills once and reuses — via copy-on-write KV page clones —
+// for every request whose prompt strictly extends it. Decode output is
+// bit-identical to cold prefill; only the prefix recompute is saved. The
+// slice is copied.
+func WithSharedPrefix(tokens []int) Option {
+	return func(c *config) { c.sharedPrefix = append([]int(nil), tokens...) }
+}
+
+// WithRealEngine makes Cluster.ServeTrace replay the trace through real
+// continuous-batching engines (one per GPU, tiny-model decode over paged
+// KV, wall-clock time) instead of the discrete-event cost-model simulator.
+func WithRealEngine() Option { return func(c *config) { c.realEngine = true } }
 
 // resolveMethod maps a method name to its registration, with a typed error.
 func resolveMethod(name string) (compress.Method, error) {

@@ -6,18 +6,17 @@ import (
 	"sync"
 
 	"rethinkkv/internal/core"
+	"rethinkkv/internal/sched"
 )
 
 // Report summarises cache-level effects of one generation pass.
 type Report = core.Report
 
-// Token is one streamed generation step.
-type Token struct {
-	// ID is the emitted vocabulary id.
-	ID int
-	// Pos is the token's absolute sequence position (prompt length + offset).
-	Pos int
-}
+// Token is one streamed generation step: the emitted vocabulary id (ID)
+// and its absolute sequence position (Pos, prompt length + offset). Both
+// Pipeline.Generate and Server.Submit stream this type, so consumers are
+// backend-agnostic.
+type Token = sched.Token
 
 // Pipeline runs real tiny-model generation under a compression method. A
 // pipeline is reusable and safe for sequential reuse: every Generate or Run
@@ -90,13 +89,8 @@ func (p *Pipeline) GenerateBatch(ctx context.Context, prompts [][]int) ([][]int,
 	}
 	vocab := p.Vocab()
 	for i, prompt := range prompts {
-		if len(prompt) == 0 {
-			return nil, nil, fmt.Errorf("%w: prompt %d", ErrEmptyPrompt, i)
-		}
-		for j, tok := range prompt {
-			if tok < 0 || tok >= vocab {
-				return nil, nil, fmt.Errorf("%w: token %d at position %d of prompt %d (vocab %d)", ErrInvalidToken, tok, j, i, vocab)
-			}
+		if err := validatePrompt(prompt, vocab); err != nil {
+			return nil, nil, fmt.Errorf("%w (prompt %d)", err, i)
 		}
 	}
 	// The pipeline lock guards only session creation (the shared cache
@@ -133,16 +127,25 @@ func (p *Pipeline) Run(prompt []int, maxNew int) ([]int, Report, error) {
 // bound on prompt token ids.
 func (p *Pipeline) Vocab() int { return p.core.Model.Config().Vocab }
 
-// session starts one generation pass under the pipeline lock.
-func (p *Pipeline) session(prompt []int) (*core.Session, error) {
+// validatePrompt checks a prompt against the shared facade contract: it
+// must be non-empty and every token must be inside the model vocabulary.
+// Pipeline and Server both gate on it.
+func validatePrompt(prompt []int, vocab int) error {
 	if len(prompt) == 0 {
-		return nil, ErrEmptyPrompt
+		return ErrEmptyPrompt
 	}
-	vocab := p.Vocab()
 	for i, tok := range prompt {
 		if tok < 0 || tok >= vocab {
-			return nil, fmt.Errorf("%w: token %d at position %d (vocab %d)", ErrInvalidToken, tok, i, vocab)
+			return fmt.Errorf("%w: token %d at position %d (vocab %d)", ErrInvalidToken, tok, i, vocab)
 		}
+	}
+	return nil
+}
+
+// session starts one generation pass under the pipeline lock.
+func (p *Pipeline) session(prompt []int) (*core.Session, error) {
+	if err := validatePrompt(prompt, p.Vocab()); err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"rethinkkv/internal/engine"
 	"rethinkkv/internal/gpu"
 	"rethinkkv/internal/model"
+	"rethinkkv/internal/sched"
 )
 
 // Methods returns every registered compression method name, sorted. The set
@@ -66,3 +67,17 @@ const (
 func Routers() []string {
 	return []string{RouterBaseline, RouterWithThroughput, RouterWithLength, RouterWithBoth}
 }
+
+// Scheduling policy names for the continuous-batching server
+// (WithSchedPolicy).
+const (
+	// SchedFCFS admits in arrival order and preempts the newest arrival.
+	SchedFCFS = sched.PolicyFCFS
+	// SchedSJF is shortest-job-first on the predicted response length,
+	// preempting the longest predicted remainder.
+	SchedSJF = sched.PolicySJF
+)
+
+// SchedPolicies returns the continuous-batching scheduling policies
+// selectable via WithSchedPolicy.
+func SchedPolicies() []string { return sched.Policies() }

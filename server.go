@@ -1,0 +1,203 @@
+package rethinkkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/sched"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/stats"
+)
+
+// translateServeErr maps internal engine sentinels onto the public ones so
+// callers test against rethinkkv.Err* and messages stay "rethinkkv:"-
+// prefixed at the facade boundary.
+func translateServeErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, kvcache.ErrOutOfPages):
+		return fmt.Errorf("%w (%v)", ErrOutOfPages, err)
+	case errors.Is(err, sched.ErrClosed):
+		return ErrServerClosed
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return err
+	default:
+		return fmt.Errorf("rethinkkv: %w", err)
+	}
+}
+
+// ServeRequest is one request to the continuous-batching server.
+type ServeRequest struct {
+	// Prompt is the token sequence to prefill (required, in-vocabulary).
+	Prompt []int
+	// MaxNew caps the decoded tokens; 0 uses the server's
+	// WithMaxNewTokens default.
+	MaxNew int
+	// Predicted is the predicted response length the sjf-predicted policy
+	// orders by; 0 falls back to MaxNew.
+	Predicted int
+}
+
+// ServerStats is a snapshot of the scheduler's lifetime counters.
+type ServerStats struct {
+	// Steps counts decode iterations (every running request advances one
+	// token per step).
+	Steps int
+	// Admitted counts admissions, including re-admissions after
+	// preemption.
+	Admitted int
+	// Preemptions counts evict-and-recompute events under KV pressure.
+	Preemptions int
+	// Completed and Cancelled count retired requests.
+	Completed, Cancelled int
+	// PeakRunning is the largest concurrent decode batch formed.
+	PeakRunning int
+	// PeakKVPages is the most KV pages simultaneously in use.
+	PeakKVPages int
+	// PrefixHits counts admissions served from the WithSharedPrefix
+	// cache; PrefixTokensSaved totals the prefill tokens they skipped.
+	PrefixHits        int
+	PrefixTokensSaved int
+}
+
+// Server is a continuous-batching serving engine over the real tiny-model
+// decode loop and a paged KV cache: requests join and leave the running
+// batch at every decode iteration, stream their tokens as produced, and
+// are preempted and recomputed when the KV page budget (WithKVPages) runs
+// out. It is the live-traffic counterpart of the simulated Cluster — both
+// report the same Outcome metrics (TTFT, TBOT, E2E), the server in
+// wall-clock seconds.
+type Server struct {
+	cfg    config
+	eng    *sched.Engine
+	nextID atomic.Int64
+}
+
+// NewServer starts a continuous-batching server. Options: WithSeed,
+// WithMaxNewTokens, WithMaxBatch, WithKVPages, WithPageTokens,
+// WithSchedPolicy. Unknown policies return ErrUnknownPolicy. The server
+// decodes full-precision paged KV (the fp16 data plane); close it with
+// Close when done.
+func NewServer(opts ...Option) (*Server, error) {
+	cfg := buildConfig(opts)
+	switch {
+	case cfg.maxNew <= 0:
+		return nil, fmt.Errorf("%w: max new tokens must be positive, got %d", ErrInvalidOption, cfg.maxNew)
+	case cfg.maxBatch <= 0:
+		return nil, fmt.Errorf("%w: max batch must be positive, got %d", ErrInvalidOption, cfg.maxBatch)
+	case cfg.pageTokens <= 0:
+		return nil, fmt.Errorf("%w: page tokens must be positive, got %d", ErrInvalidOption, cfg.pageTokens)
+	case cfg.kvPages < 0:
+		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
+	}
+	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
+	}
+	if len(cfg.sharedPrefix) > 0 {
+		if err := validatePrompt(cfg.sharedPrefix, model.Tiny().Vocab); err != nil {
+			return nil, fmt.Errorf("%w: shared prefix: %w", ErrInvalidOption, err)
+		}
+	}
+	m := model.New(model.Tiny(), cfg.seed)
+	eng, err := sched.New(m, sched.Config{
+		MaxBatch:     cfg.maxBatch,
+		PageTokens:   cfg.pageTokens,
+		KVPages:      cfg.kvPages,
+		MaxNew:       cfg.maxNew,
+		Policy:       cfg.schedPol,
+		SharedPrefix: cfg.sharedPrefix,
+	})
+	if err != nil {
+		return nil, translateServeErr(err)
+	}
+	return &Server{cfg: cfg, eng: eng}, nil
+}
+
+// Vocab returns the served model's vocabulary size.
+func (s *Server) Vocab() int { return model.Tiny().Vocab }
+
+// Submit enqueues a request and returns its token stream. The channel is
+// buffered to the request's full budget (the server never blocks on a slow
+// consumer) and closes when the request completes, ctx is cancelled, or
+// the server shuts down. Submission fails fast with ErrOutOfPages when the
+// request cannot fit the page budget even running alone, and with
+// ErrServerClosed after Close.
+func (s *Server) Submit(ctx context.Context, req ServeRequest) (<-chan Token, error) {
+	if err := validatePrompt(req.Prompt, s.Vocab()); err != nil {
+		return nil, err
+	}
+	ch, err := s.eng.Submit(ctx, sched.Request{
+		ID:        int(s.nextID.Add(1)) - 1, // submission order, 0-based
+		Prompt:    req.Prompt,
+		MaxNew:    req.MaxNew,
+		Predicted: req.Predicted,
+		Arrival:   -1, // stamp at submit time
+	})
+	if err != nil {
+		return nil, translateServeErr(err)
+	}
+	return ch, nil
+}
+
+// Drain blocks until every request submitted so far has retired, or ctx is
+// cancelled. Submit keeps working during a drain; callers that want a
+// quiescent server stop submitting first. A drain cut short by Close
+// reports ErrServerClosed.
+func (s *Server) Drain(ctx context.Context) error {
+	return translateServeErr(s.eng.Drain(ctx))
+}
+
+// Close shuts the server down; in-flight streams are closed without
+// completing. Close is idempotent.
+func (s *Server) Close() { s.eng.Close() }
+
+// Outcomes returns the per-request serving records of every retired
+// request so far — the same Outcome type (and TTFT/TBOT/E2E accessors)
+// the simulated Cluster produces, measured in wall-clock seconds.
+func (s *Server) Outcomes() []Outcome { return s.eng.Outcomes() }
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Server) Stats() ServerStats {
+	st := s.eng.Stats()
+	return ServerStats{
+		Steps:             st.Steps,
+		Admitted:          st.Admitted,
+		Preemptions:       st.Preemptions,
+		Completed:         st.Completed,
+		Cancelled:         st.Cancelled,
+		PeakRunning:       st.PeakRunning,
+		PeakKVPages:       st.PeakPages,
+		PrefixHits:        st.PrefixHits,
+		PrefixTokensSaved: st.PrefixTokensSaved,
+	}
+}
+
+// MeanTTFT returns the average time-to-first-token of outcomes, seconds.
+func MeanTTFT(outcomes []Outcome) float64 {
+	return stats.Mean(serving.TTFTs(outcomes))
+}
+
+// TokensPerSec returns aggregate generated tokens per second over the
+// run's makespan — the serving-throughput headline number.
+func TokensPerSec(outcomes []Outcome) float64 {
+	return serving.TokensPerSec(outcomes)
+}
+
+// Makespan returns the span from the earliest arrival to the latest
+// finish — the denominator of TokensPerSec.
+func Makespan(outcomes []Outcome) float64 { return serving.Makespan(outcomes) }
+
+// TotalTokens sums the generated (response) tokens across outcomes.
+func TotalTokens(outcomes []Outcome) int { return serving.TotalTokens(outcomes) }
+
+// TTFTs extracts per-request time-to-first-token latencies.
+func TTFTs(outcomes []Outcome) []float64 { return serving.TTFTs(outcomes) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs with linear
+// interpolation — a convenience over TTFTs/E2Es for latency reporting.
+func Percentile(xs []float64, p float64) float64 { return stats.Percentile(xs, p) }
