@@ -17,10 +17,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The continuous-batching scheduler is the one concurrency-heavy package;
-# run it (and the step plane under it) under the race detector in CI.
+# The continuous-batching scheduler and the fused batched step plane under
+# it (sched -> core.StepAllInto -> model.ForwardBatchInto, whose sharded
+# GEMMs spawn goroutines at GOMAXPROCS>1) are the concurrency-heavy
+# packages; run them under the race detector in CI.
 race-sched:
-	$(GO) test -race ./internal/sched ./internal/core
+	$(GO) test -race ./internal/sched ./internal/core ./internal/model
 
 BENCH_PKGS = . ./internal/model ./internal/attention
 
@@ -28,12 +30,19 @@ bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
 
 # bench runs the decode and attention hot-path benchmarks with allocation
-# reporting (compare BenchmarkDecodeSteady against BENCH_decode.json) and
-# the serving benchmark (compare against BENCH_serve.json; regenerate the
-# baseline with `go run ./cmd/servebench -out BENCH_serve.json`).
+# reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched
+# against BENCH_decode.json) and the serving benchmark (compare against
+# BENCH_serve.json; regenerate with `make bench-serve`). Decode benches run
+# at -cpu 1,4 so both the serial fused step and the row/lane-sharded
+# parallel step are exercised; servebench runs at GOMAXPROCS>1 for the same
+# reason (on a single-core machine the sharded paths still execute, they
+# just timeshare).
 bench:
-	$(GO) test -run XXX -bench=. -benchmem $(BENCH_PKGS)
-	$(GO) run ./cmd/servebench
+	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
+	GOMAXPROCS=4 $(GO) run ./cmd/servebench
 
+# bench-serve records the baseline at the machine's native GOMAXPROCS (the
+# numbers in BENCH_serve.json state the setting; `make bench` additionally
+# exercises the GOMAXPROCS>1 paths regardless of machine size).
 bench-serve:
 	$(GO) run ./cmd/servebench -out BENCH_serve.json

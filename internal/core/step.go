@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"rethinkkv/internal/kvcache"
@@ -12,19 +13,28 @@ import (
 // This file is the multi-session step plane the continuous-batching
 // scheduler (internal/sched) drives: sessions that keep no workspace of
 // their own, a shared pool of workspaces sized to the step concurrency,
-// and a parallel one-token step over any set of sessions. Unlike Session
+// and a fused one-token step over any set of sessions. Unlike Session
 // (one workspace per stream, logits carried between steps), a StepSession
 // carries only its cache, position and pre-computed next token, so a pool
 // of MaxBatch workspaces serves an unbounded population of live requests.
+//
+// StepAll's fast path is the fused batched forward pass
+// (model.ForwardBatchInto): one weight-stationary pass per step for the
+// whole batch, loading every weight matrix once instead of once per
+// session, with per-session attention against each session's own cache.
+// It borrows one pooled StepBatch per step — one pool round-trip instead
+// of the historical per-session Get/Put inside every step goroutine.
 
-// WorkspacePool hands out model workspaces to concurrent decode steps.
-// Get allocates on demand, so the pool's steady-state size is the peak
-// step concurrency, not the number of live sessions.
+// WorkspacePool hands out model workspaces — and fused step batches — to
+// concurrent decode steps. Get allocates on demand, so the pool's
+// steady-state size is the peak step concurrency, not the number of live
+// sessions.
 type WorkspacePool struct {
-	m    *model.Model
-	mu   sync.Mutex
-	free []*model.Workspace
-	made int
+	m         *model.Model
+	mu        sync.Mutex
+	free      []*model.Workspace
+	freeBatch []*StepBatch
+	made      int
 }
 
 // NewWorkspacePool builds an empty pool over the model.
@@ -36,6 +46,10 @@ func NewWorkspacePool(m *model.Model) *WorkspacePool {
 func (p *WorkspacePool) Get() *model.Workspace {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.getLocked()
+}
+
+func (p *WorkspacePool) getLocked() *model.Workspace {
 	if n := len(p.free); n > 0 {
 		ws := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -55,12 +69,81 @@ func (p *WorkspacePool) Put(ws *model.Workspace) {
 	p.mu.Unlock()
 }
 
-// Allocated reports how many workspaces the pool has ever created — the
-// peak step concurrency observed.
+// getN fills out with workspaces in one pool pass — the heterogeneous
+// step path acquires all its workspaces before spawning goroutines, so
+// the pool mutex is taken once per step, not once per session.
+func (p *WorkspacePool) getN(n int) []*model.Workspace {
+	out := make([]*model.Workspace, n)
+	p.mu.Lock()
+	for i := range out {
+		out[i] = p.getLocked()
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// putN returns a getN batch.
+func (p *WorkspacePool) putN(wss []*model.Workspace) {
+	p.mu.Lock()
+	p.free = append(p.free, wss...)
+	p.mu.Unlock()
+}
+
+// Allocated reports how many single-stream workspaces the pool has ever
+// created — the peak heterogeneous step concurrency observed. Fused steps
+// draw from the StepBatch pool instead and are not counted here.
 func (p *WorkspacePool) Allocated() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.made
+}
+
+// StepBatch bundles a fused batch workspace with the lane-marshalling
+// scratch one StepAll call needs. Pooled so a continuous-batching loop
+// pays one pool round-trip per decode iteration and zero steady-state
+// allocations.
+type StepBatch struct {
+	bw        *model.BatchWorkspace
+	tokens    []int
+	positions []int
+	caches    []kvcache.Cache
+}
+
+func (sb *StepBatch) ensure(n int) {
+	sb.bw.EnsureLanes(n)
+	if cap(sb.tokens) < n {
+		sb.tokens = make([]int, n)
+		sb.positions = make([]int, n)
+		sb.caches = make([]kvcache.Cache, n)
+	}
+}
+
+// GetBatch returns a pooled fused step batch, allocating when none are
+// free.
+func (p *WorkspacePool) GetBatch() *StepBatch {
+	p.mu.Lock()
+	if n := len(p.freeBatch); n > 0 {
+		sb := p.freeBatch[n-1]
+		p.freeBatch = p.freeBatch[:n-1]
+		p.mu.Unlock()
+		return sb
+	}
+	p.mu.Unlock()
+	return &StepBatch{bw: p.m.NewBatchWorkspace(0)}
+}
+
+// PutBatch returns a fused step batch to the pool. Cache references are
+// cleared so a pooled batch does not pin retired sessions' KV memory.
+func (p *WorkspacePool) PutBatch(sb *StepBatch) {
+	if sb == nil {
+		return
+	}
+	for i := range sb.caches {
+		sb.caches[i] = nil
+	}
+	p.mu.Lock()
+	p.freeBatch = append(p.freeBatch, sb)
+	p.mu.Unlock()
 }
 
 // StepSession is one decode stream whose scratch state lives in a pooled
@@ -124,30 +207,85 @@ func (s *StepSession) Pos() int { return s.pos }
 // Cache exposes the session's cache.
 func (s *StepSession) Cache() kvcache.Cache { return s.cache }
 
-// StepAll decodes exactly one token on every session concurrently, each
-// step borrowing a workspace from the pool, and returns the emitted tokens
-// index-aligned with sessions. Sessions must be distinct and own distinct
-// caches; the shared model weights are immutable, so the steps are
-// independent. This is the iteration-level inner loop of continuous
-// batching: the caller re-forms the session set between calls.
+// StepAll decodes exactly one token on every session and returns the
+// emitted tokens index-aligned with sessions. See StepAllInto.
 func StepAll(pool *WorkspacePool, sessions []*StepSession) []int {
 	toks := make([]int, len(sessions))
-	if len(sessions) == 1 {
+	StepAllInto(pool, sessions, toks)
+	return toks
+}
+
+// StepAllInto decodes exactly one token on every session, writing the
+// emitted tokens into toks (index-aligned; len(toks) must equal
+// len(sessions)). Sessions must be distinct and own distinct caches; the
+// shared model weights are immutable. This is the iteration-level inner
+// loop of continuous batching: the caller re-forms the session set between
+// calls, and a caller that reuses toks steps with zero allocations.
+//
+// Sessions sharing the pool's model — the serving case — take the fused
+// fast path: one pooled StepBatch, one ForwardBatchInto loading each weight
+// matrix once for the whole batch (row-sharded across GOMAXPROCS when >1),
+// attention per-session. Emitted tokens are bit-identical to per-session
+// stepping. A single session steps directly on a pooled workspace;
+// sessions over heterogeneous models fall back to one goroutine per
+// session with workspaces acquired in a single pool pass.
+func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
+	if len(toks) != len(sessions) {
+		panic("core: StepAllInto toks length mismatch")
+	}
+	n := len(sessions)
+	switch n {
+	case 0:
+		return
+	case 1:
 		ws := pool.Get()
 		toks[0] = sessions[0].Step(ws)
 		pool.Put(ws)
-		return toks
+		return
 	}
+	// Fuse only when every session runs the pool's model: the pooled
+	// batch workspaces belong to it. Sessions over any other model —
+	// uniform or mixed — step per-goroutine (they may differ from the
+	// pool's model only in weights, not shape).
+	m := pool.m
+	for _, s := range sessions {
+		if s.m != m {
+			stepHeterogeneous(pool, sessions, toks)
+			return
+		}
+	}
+
+	sb := pool.GetBatch()
+	sb.ensure(n)
+	for i, s := range sessions {
+		toks[i] = s.next
+		sb.tokens[i] = s.next
+		sb.positions[i] = s.pos
+		sb.caches[i] = s.cache
+	}
+	sb.bw.SetWorkers(runtime.GOMAXPROCS(0))
+	results := m.ForwardBatchInto(sb.bw, sb.tokens[:n], sb.positions[:n], sb.caches[:n])
+	for i, s := range sessions {
+		s.next = tensor.Argmax(results[i].Logits)
+		s.pos++
+	}
+	pool.PutBatch(sb)
+}
+
+// stepHeterogeneous steps sessions whose models differ: one goroutine per
+// session, workspaces acquired up front in one pool pass. The models must
+// share the pool model's shape (pooled workspaces are sized by it); each
+// Step runs its session's own weights.
+func stepHeterogeneous(pool *WorkspacePool, sessions []*StepSession, toks []int) {
+	wss := pool.getN(len(sessions))
 	var wg sync.WaitGroup
 	for i, s := range sessions {
 		wg.Add(1)
 		go func(i int, s *StepSession) {
 			defer wg.Done()
-			ws := pool.Get()
-			toks[i] = s.Step(ws)
-			pool.Put(ws)
+			toks[i] = s.Step(wss[i])
 		}(i, s)
 	}
 	wg.Wait()
-	return toks
+	pool.putN(wss)
 }

@@ -67,3 +67,176 @@ func TestNewStepSessionEmptyPrompt(t *testing.T) {
 		t.Fatal("empty prompt accepted")
 	}
 }
+
+// TestStepAllMixedCaches drives the fused path with heterogeneous cache
+// layouts in one batch (flat Full next to PagedKV): attention is
+// per-session, so the fused step must handle any Cache mix and still
+// match per-session stepping token for token.
+func TestStepAllMixedCaches(t *testing.T) {
+	m := model.New(model.Tiny(), 5)
+	ws := m.NewWorkspace()
+	pool := NewWorkspacePool(m)
+
+	prompts := [][]int{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{9, 8, 7},
+		{100, 200, 300, 400},
+		{42},
+	}
+	mkCache := func(i int) kvcache.Cache {
+		if i%2 == 0 {
+			return kvcache.NewFull(m.CacheShape())
+		}
+		return kvcache.NewPagedKV(m.CacheShape(), 4)
+	}
+
+	const maxNew = 12
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		s, err := NewStepSession(m, ws, prompt, mkCache(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < maxNew; step++ {
+			want[i] = append(want[i], s.Step(ws))
+		}
+	}
+
+	sessions := make([]*StepSession, len(prompts))
+	for i, prompt := range prompts {
+		s, err := NewStepSession(m, ws, prompt, mkCache(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	toks := make([]int, len(sessions))
+	for step := 0; step < maxNew; step++ {
+		StepAllInto(pool, sessions, toks)
+		for i, tok := range toks {
+			if tok != want[i][step] {
+				t.Fatalf("session %d step %d: fused %d != per-session %d", i, step, tok, want[i][step])
+			}
+		}
+	}
+}
+
+// TestStepAllHeterogeneousModels exercises the per-goroutine fallback:
+// sessions over distinct models (same shape) cannot fuse but must still
+// step correctly.
+func TestStepAllHeterogeneousModels(t *testing.T) {
+	m1 := model.New(model.Tiny(), 1)
+	m2 := model.New(model.Tiny(), 2)
+	pool := NewWorkspacePool(m1)
+	ws := m1.NewWorkspace()
+
+	prompt := []int{3, 1, 4, 1, 5}
+	want := make([][]int, 2)
+	for i, m := range []*model.Model{m1, m2} {
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewFull(m.CacheShape()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 8; step++ {
+			want[i] = append(want[i], s.Step(ws))
+		}
+	}
+
+	s1, err := NewStepSession(m1, ws, prompt, kvcache.NewFull(m1.CacheShape()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStepSession(m2, ws, prompt, kvcache.NewFull(m2.CacheShape()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := []*StepSession{s1, s2}
+	toks := make([]int, 2)
+	for step := 0; step < 8; step++ {
+		StepAllInto(pool, sessions, toks)
+		for i := range sessions {
+			if toks[i] != want[i][step] {
+				t.Fatalf("model %d step %d: %d != %d", i, step, toks[i], want[i][step])
+			}
+		}
+	}
+}
+
+// TestStepAllForeignModel steps a batch that is uniform over a model that
+// is NOT the pool's model: it must take the per-goroutine fallback (the
+// pooled batch workspaces belong to the pool's model) instead of panicking,
+// and still emit the right tokens.
+func TestStepAllForeignModel(t *testing.T) {
+	m1 := model.New(model.Tiny(), 1)
+	m2 := model.New(model.Tiny(), 2)
+	pool := NewWorkspacePool(m1)
+	ws := m2.NewWorkspace()
+
+	prompt := []int{2, 7, 1, 8}
+	ref, err := NewStepSession(m2, ws, prompt, kvcache.NewFull(m2.CacheShape()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for step := 0; step < 6; step++ {
+		want = append(want, ref.Step(ws))
+	}
+
+	sessions := make([]*StepSession, 2)
+	for i := range sessions {
+		s, err := NewStepSession(m2, ws, prompt, kvcache.NewFull(m2.CacheShape()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	toks := make([]int, 2)
+	for step := 0; step < 6; step++ {
+		StepAllInto(pool, sessions, toks)
+		for i := range sessions {
+			if toks[i] != want[step] {
+				t.Fatalf("session %d step %d: %d != %d", i, step, toks[i], want[step])
+			}
+		}
+	}
+}
+
+// TestStepAllIntoAllocFree proves the serial fused serving step allocates
+// nothing in steady state: pooled StepBatch, reused toks, paged caches
+// sized past the decode window. (AllocsPerRun pins GOMAXPROCS to 1, so
+// this measures exactly the serial path; the GOMAXPROCS>1 step shards
+// across goroutines and allocates their frames by design — see
+// BatchWorkspace.SetWorkers.)
+func TestStepAllIntoAllocFree(t *testing.T) {
+	m := model.New(model.Tiny(), 3)
+	ws := m.NewWorkspace()
+	pool := NewWorkspacePool(m)
+
+	sessions := make([]*StepSession, 4)
+	for i := range sessions {
+		prompt := []int{1 + i, 2, 3, 4 + i}
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	toks := make([]int, len(sessions))
+	StepAllInto(pool, sessions, toks) // warm the pooled StepBatch
+	if n := testing.AllocsPerRun(50, func() {
+		StepAllInto(pool, sessions, toks)
+	}); n != 0 {
+		t.Fatalf("fused StepAllInto allocated %v per run", n)
+	}
+}
+
+func TestStepAllIntoLengthMismatch(t *testing.T) {
+	m := model.New(model.Tiny(), 1)
+	pool := NewWorkspacePool(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on toks length mismatch")
+		}
+	}()
+	StepAllInto(pool, make([]*StepSession, 2), make([]int, 1))
+}

@@ -1,0 +1,112 @@
+package kvcache
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fillToken builds one token's K/V both as per-head views and as the flat
+// head-major vector the FlatAppender path consumes — same bytes, two entry
+// points.
+func fillToken(shape Shape, seed int) (kHeads, vHeads [][]float32, kFlat, vFlat []float32) {
+	stride := shape.KVHeads * shape.HeadDim
+	kFlat = make([]float32, stride)
+	vFlat = make([]float32, stride)
+	for i := range kFlat {
+		kFlat[i] = float32(seed*31+i) / 7
+		vFlat[i] = float32(seed*17-i) / 5
+	}
+	kHeads = make([][]float32, shape.KVHeads)
+	vHeads = make([][]float32, shape.KVHeads)
+	for h := 0; h < shape.KVHeads; h++ {
+		kHeads[h] = kFlat[h*shape.HeadDim : (h+1)*shape.HeadDim]
+		vHeads[h] = vFlat[h*shape.HeadDim : (h+1)*shape.HeadDim]
+	}
+	return
+}
+
+// TestAppendFlatMatchesAppend pins AppendFlat against Append bit-for-bit
+// on both flat-storage caches: interleaving the two entry points must
+// leave identical retained state.
+func TestAppendFlatMatchesAppend(t *testing.T) {
+	shape := Shape{Layers: 2, KVHeads: 3, HeadDim: 4}
+	caches := []struct {
+		name     string
+		viaHeads Cache
+		viaFlat  Cache
+	}{
+		{"full", NewFull(shape), NewFull(shape)},
+		{"paged", NewPagedKV(shape, 2), NewPagedKV(shape, 2)},
+	}
+	for _, tc := range caches {
+		fa, ok := tc.viaFlat.(FlatAppender)
+		if !ok {
+			t.Fatalf("%s: no FlatAppender", tc.name)
+		}
+		for tok := 0; tok < 7; tok++ {
+			kH, vH, kF, vF := fillToken(shape, tok)
+			for l := 0; l < shape.Layers; l++ {
+				tc.viaHeads.Append(l, kH, vH)
+				fa.AppendFlat(l, kF, vF)
+			}
+		}
+		if got, want := tc.viaFlat.TotalAppended(), tc.viaHeads.TotalAppended(); got != want {
+			t.Fatalf("%s: appended %d != %d", tc.name, got, want)
+		}
+		for l := 0; l < shape.Layers; l++ {
+			for h := 0; h < shape.KVHeads; h++ {
+				wk, wv := tc.viaHeads.Seq(l, h)
+				gk, gv := tc.viaFlat.Seq(l, h)
+				if len(gk) != len(wk) {
+					t.Fatalf("%s: seq len %d != %d", tc.name, len(gk), len(wk))
+				}
+				for i := range wk {
+					for d := 0; d < shape.HeadDim; d++ {
+						if math.Float32bits(gk[i][d]) != math.Float32bits(wk[i][d]) {
+							t.Fatalf("%s: key (%d,%d,%d,%d) differs", tc.name, l, h, i, d)
+						}
+						if math.Float32bits(gv[i][d]) != math.Float32bits(wv[i][d]) {
+							t.Fatalf("%s: value (%d,%d,%d,%d) differs", tc.name, l, h, i, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendFlatBudgetPanics verifies AppendFlat honours the page budget
+// exactly like Append: an unreserved append past the budget panics with
+// ErrOutOfPages.
+func TestAppendFlatBudgetPanics(t *testing.T) {
+	shape := Shape{Layers: 1, KVHeads: 1, HeadDim: 2}
+	c := NewPagedKVBudget(shape, 1, 1)
+	_, _, kF, vF := fillToken(shape, 1)
+	c.AppendFlat(0, kF, vF)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic past budget")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrOutOfPages) {
+			t.Fatalf("panic %v is not ErrOutOfPages", r)
+		}
+	}()
+	c.AppendFlat(0, kF, vF)
+}
+
+// TestAppendFlatLengthMismatch covers the flat-append contract panics.
+func TestAppendFlatLengthMismatch(t *testing.T) {
+	shape := Shape{Layers: 1, KVHeads: 2, HeadDim: 2}
+	for _, c := range []FlatAppender{NewFull(shape), NewPagedKV(shape, 4)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on short flat append")
+				}
+			}()
+			c.AppendFlat(0, make([]float32, 3), make([]float32, 4))
+		}()
+	}
+}

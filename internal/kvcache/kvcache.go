@@ -67,6 +67,25 @@ type AttentionObserver interface {
 	ObserveAttention(layer, head int, weights []float32)
 }
 
+// FlatAppender is the optional append fast path for caches that store each
+// token's K/V contiguously head-major (head h at offset h*HeadDim): k and v
+// are whole-token vectors of length KVHeads*HeadDim, copied in one pass
+// instead of head by head. The stored bytes are identical to
+// Append(layer, kHeads, vHeads) over per-head views of the same buffers,
+// so the two entry points are interchangeable bit-for-bit; the model's
+// decode hot paths prefer AppendFlat when a cache provides it. Caches
+// whose Append carries policy (eviction scoring, quantisation) should not
+// implement it unless the flat form preserves that policy.
+//
+// Note there is deliberately no cross-session batched append: every decode
+// stream owns a distinct cache (the scheduler enforces it), so a fused
+// batch step still appends once per (session, layer) — AppendFlat removes
+// the per-head slicing and per-head bounds checks from that call, which is
+// all the overhead a batched form could have removed.
+type FlatAppender interface {
+	AppendFlat(layer int, k, v []float32)
+}
+
 // FlatReader is the optional zero-copy fast path over a cache whose retained
 // entries for a head live at a regular stride in one contiguous buffer.
 // Entry i's vector occupies kv[i*stride : i*stride+HeadDim] for
@@ -117,6 +136,23 @@ func (c *Full) Append(layer int, k, v [][]float32) {
 		c.keys[layer] = append(c.keys[layer], k[h]...)
 		c.values[layer] = append(c.values[layer], v[h]...)
 	}
+	if layer == c.shape.Layers-1 {
+		c.appended++
+	}
+}
+
+// AppendFlat implements FlatAppender: one token's K/V arrive as flat
+// head-major vectors (length KVHeads*HeadDim) and are copied in a single
+// append each — the same bytes Append stores head by head.
+func (c *Full) AppendFlat(layer int, k, v []float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic(fmt.Sprintf("kvcache: layer %d out of range", layer))
+	}
+	if stride := c.stride(); len(k) != stride || len(v) != stride {
+		panic("kvcache: flat append length mismatch")
+	}
+	c.keys[layer] = append(c.keys[layer], k...)
+	c.values[layer] = append(c.values[layer], v...)
 	if layer == c.shape.Layers-1 {
 		c.appended++
 	}

@@ -136,16 +136,7 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	if len(k) != c.shape.KVHeads || len(v) != c.shape.KVHeads {
 		panic("kvcache: head count mismatch on append")
 	}
-	stride := c.stride()
-	pages := c.keyPages[layer]
-	if len(pages) == 0 || len(pages[len(pages)-1]) == c.pageTokens*stride {
-		if c.maxPages > 0 && len(pages) >= c.maxPages {
-			panic(fmt.Errorf("%w: unreserved append past %d-page budget", ErrOutOfPages, c.maxPages))
-		}
-		c.keyPages[layer] = append(c.keyPages[layer], make([]float32, 0, c.pageTokens*stride))
-		c.valPages[layer] = append(c.valPages[layer], make([]float32, 0, c.pageTokens*stride))
-	}
-	last := len(c.keyPages[layer]) - 1
+	last := c.pageForAppend(layer)
 	for h := 0; h < c.shape.KVHeads; h++ {
 		if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
 			panic("kvcache: head dim mismatch on append")
@@ -156,6 +147,43 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	if layer == c.shape.Layers-1 {
 		c.appended++
 	}
+}
+
+// AppendFlat implements FlatAppender: one token's K/V arrive as flat
+// head-major vectors (length KVHeads*HeadDim) and are copied onto the
+// current page in a single append each — the same bytes Append stores head
+// by head, the same page-opening and budget rules. A fused batch step
+// calls this once per (session, layer); there is no cross-session batched
+// append because sessions own distinct caches (see FlatAppender).
+func (c *PagedKV) AppendFlat(layer int, k, v []float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic("kvcache: layer out of range")
+	}
+	if stride := c.stride(); len(k) != stride || len(v) != stride {
+		panic("kvcache: flat append length mismatch")
+	}
+	last := c.pageForAppend(layer)
+	c.keyPages[layer][last] = append(c.keyPages[layer][last], k...)
+	c.valPages[layer][last] = append(c.valPages[layer][last], v...)
+	if layer == c.shape.Layers-1 {
+		c.appended++
+	}
+}
+
+// pageForAppend returns the page index the next token's K/V goes into,
+// opening a fresh page — budget-checked, never touching full (possibly
+// shared) pages — when the current one is full.
+func (c *PagedKV) pageForAppend(layer int) int {
+	stride := c.stride()
+	pages := c.keyPages[layer]
+	if len(pages) == 0 || len(pages[len(pages)-1]) == c.pageTokens*stride {
+		if c.maxPages > 0 && len(pages) >= c.maxPages {
+			panic(fmt.Errorf("%w: unreserved append past %d-page budget", ErrOutOfPages, c.maxPages))
+		}
+		c.keyPages[layer] = append(c.keyPages[layer], make([]float32, 0, c.pageTokens*stride))
+		c.valPages[layer] = append(c.valPages[layer], make([]float32, 0, c.pageTokens*stride))
+	}
+	return len(c.keyPages[layer]) - 1
 }
 
 // KVPages implements PageReader with zero copies and zero allocation.

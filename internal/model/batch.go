@@ -1,0 +1,255 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/tensor"
+)
+
+// This file is the fused batched decode plane: one forward pass that
+// advances B independent decode streams a single token each, loading every
+// weight matrix once per step instead of once per stream. Projections and
+// the LM head run as batched weight-stationary GEMMs (tensor.MatTMatTrans*/
+// tensor.MatMat*); attention stays per-stream via the shared attendStep,
+// because each stream attends over its own KV cache at its own position.
+// Per lane the arithmetic is operation-for-operation identical to
+// ForwardInto, so a fused step is bit-identical to stepping each stream
+// separately — pinned by the equivalence tests in batch_test.go.
+
+// BatchWorkspace owns the scratch state for fused batched decode: one
+// Workspace per lane plus the lane-indexed gather views the batched
+// kernels consume. It belongs to one decode loop at a time (the scheduler
+// pools them like Workspaces); lanes grow on demand and are reused across
+// steps, so steady-state fused stepping allocates nothing.
+type BatchWorkspace struct {
+	m     *Model
+	lanes []*Workspace
+	paths []cachePath
+
+	// Gather views: index b aliases lanes[b]'s buffers. They are built
+	// once per lane and re-sliced to the step's batch size.
+	hs, xs, qs, ks, vs [][]float32
+	attnOuts, projs    [][]float32
+	gates, ups, downs  [][]float32
+	finals, logits     [][]float32
+
+	results []StepResult
+	workers int
+}
+
+// NewBatchWorkspace allocates a batch workspace with capacity lanes
+// (grown automatically if a step brings more). Workers defaults to 1
+// (fully serial); see SetWorkers.
+func (m *Model) NewBatchWorkspace(capacity int) *BatchWorkspace {
+	bw := &BatchWorkspace{m: m, workers: 1}
+	bw.EnsureLanes(capacity)
+	return bw
+}
+
+// EnsureLanes grows the workspace to at least n lanes.
+func (bw *BatchWorkspace) EnsureLanes(n int) {
+	for len(bw.lanes) < n {
+		ws := bw.m.NewWorkspace()
+		bw.lanes = append(bw.lanes, ws)
+		bw.paths = append(bw.paths, cachePath{})
+		bw.hs = append(bw.hs, ws.h)
+		bw.xs = append(bw.xs, ws.x)
+		bw.qs = append(bw.qs, ws.q)
+		bw.ks = append(bw.ks, ws.k)
+		bw.vs = append(bw.vs, ws.v)
+		bw.attnOuts = append(bw.attnOuts, ws.attnOut)
+		bw.projs = append(bw.projs, ws.proj)
+		bw.gates = append(bw.gates, ws.gate)
+		bw.ups = append(bw.ups, ws.up)
+		bw.downs = append(bw.downs, ws.down)
+		bw.finals = append(bw.finals, ws.final)
+		bw.logits = append(bw.logits, ws.logits)
+		bw.results = append(bw.results, StepResult{})
+	}
+}
+
+// Lanes reports the allocated lane capacity.
+func (bw *BatchWorkspace) Lanes() int { return len(bw.lanes) }
+
+// SetWorkers sets the shard width for optional intra-step parallelism:
+// with w > 1, large GEMMs are row-sharded and attention lane-sharded
+// across up to w goroutines (bit-identical — shards write disjoint
+// outputs). The default 1 keeps the step fully serial and
+// allocation-free; sharded steps allocate goroutine frames.
+func (bw *BatchWorkspace) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	bw.workers = w
+}
+
+// Workers reports the configured shard width.
+func (bw *BatchWorkspace) Workers() int { return bw.workers }
+
+// gemmShardMin is the per-shard work floor (multiply-accumulates) below
+// which sharding a GEMM costs more in goroutine latency than it saves.
+const gemmShardMin = 1 << 15
+
+// ForwardBatchInto advances n = len(tokens) decode streams one token each:
+// stream b forwards tokens[b] at absolute position positions[b], appending
+// to caches[b] and attending over what that cache retains. The caches must
+// be distinct (each lane appends one token) and match the model's shape;
+// positions are independent per lane. Results alias the workspace lanes
+// and are valid until the next call on the same workspace; in steady state
+// the call performs zero heap allocations (with Workers == 1).
+//
+// Lane b's outputs are bit-identical to
+// ForwardInto(ws, tokens[b], positions[b], caches[b]): the projections use
+// the transposed-weight batched kernels whose per-element reduction order
+// matches VecMatInto exactly (including its zero-skip, via dispatch), and
+// attention/norms/activations share the per-stream code paths.
+func (m *Model) ForwardBatchInto(bw *BatchWorkspace, tokens, positions []int, caches []kvcache.Cache) []StepResult {
+	n := len(tokens)
+	if len(positions) != n || len(caches) != n {
+		panic("model: batch length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	if bw.m != m {
+		panic("model: batch workspace belongs to a different model")
+	}
+	bw.EnsureLanes(n)
+	want := m.CacheShape()
+	for b := 0; b < n; b++ {
+		tok := tokens[b]
+		if tok < 0 || tok >= m.cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of range", tok))
+		}
+		if got := caches[b].Shape(); got != want {
+			panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
+		}
+		bw.paths[b] = pathOf(caches[b])
+		ws := bw.lanes[b]
+		copy(ws.h, m.embed.Row(tok))
+		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, positions[b])
+	}
+
+	hs, xs := bw.hs[:n], bw.xs[:n]
+	qs, ks, vs := bw.qs[:n], bw.ks[:n], bw.vs[:n]
+	attnOuts, projs := bw.attnOuts[:n], bw.projs[:n]
+	gates, ups, downs := bw.gates[:n], bw.ups[:n], bw.downs[:n]
+
+	for l := range m.layers {
+		lw := &m.layers[l]
+		tensor.RMSNormRowsInto(xs, hs, lw.attnNorm, 1e-5)
+		bw.project(qs, xs, lw.wq, lw.wqT)
+		bw.project(ks, xs, lw.wk, lw.wkT)
+		bw.project(vs, xs, lw.wv, lw.wvT)
+		bw.attend(l, n)
+		bw.project(projs, attnOuts, lw.wo, lw.woT)
+		for b := 0; b < n; b++ {
+			tensor.AXPY(hs[b], 1, projs[b])
+		}
+		tensor.RMSNormRowsInto(xs, hs, lw.ffnNorm, 1e-5)
+		bw.project(gates, xs, lw.wGate, lw.wGateT)
+		bw.project(ups, xs, lw.wUp, lw.wUpT)
+		for b := 0; b < n; b++ {
+			siluMul(gates[b], ups[b])
+		}
+		bw.project(downs, gates, lw.wDown, lw.wDownT)
+		for b := 0; b < n; b++ {
+			tensor.AXPY(hs[b], 1, downs[b])
+		}
+	}
+
+	finals, logits := bw.finals[:n], bw.logits[:n]
+	tensor.RMSNormRowsInto(finals, hs, m.norm, 1e-5)
+	bw.lmHead(logits, finals)
+	for b := 0; b < n; b++ {
+		bw.results[b] = StepResult{Logits: logits[b], Hidden: finals[b]}
+		// Drop the cache references: a parked (pooled) batch workspace
+		// must not pin retired streams' KV memory.
+		bw.paths[b] = cachePath{}
+	}
+	return bw.results[:n]
+}
+
+// project runs one batched projection dst[b] = xs[b]ᵀ·w, column-sharded
+// across workers when the matrix is large enough to amortize the fan-out.
+func (bw *BatchWorkspace) project(dst, xs [][]float32, w, wT *tensor.Matrix) {
+	shards := bw.shardsFor(w.Rows*w.Cols*len(xs), w.Cols)
+	if shards <= 1 {
+		tensor.MatTMatTransInto(dst, xs, w, wT)
+		return
+	}
+	runShards(shards, w.Cols, func(lo, hi int) {
+		tensor.MatTMatTransColsInto(dst, xs, w, wT, lo, hi)
+	})
+}
+
+// attend runs per-lane attention for one layer, lane-sharded across
+// workers: each stream's attention touches only its own cache and lane
+// workspace, so lanes are independent.
+func (bw *BatchWorkspace) attend(l, n int) {
+	shards := bw.workers
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		for b := 0; b < n; b++ {
+			bw.m.attendStep(bw.lanes[b], &bw.paths[b], l)
+		}
+		return
+	}
+	runShards(shards, n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			bw.m.attendStep(bw.lanes[b], &bw.paths[b], l)
+		}
+	})
+}
+
+// lmHead runs the batched LM head dst[b] = embed × finals[b], row-sharded
+// across workers when large enough.
+func (bw *BatchWorkspace) lmHead(dst, finals [][]float32) {
+	embed := bw.m.embed
+	shards := bw.shardsFor(embed.Rows*embed.Cols*len(finals), embed.Rows)
+	if shards <= 1 {
+		tensor.MatMatInto(dst, embed, finals)
+		return
+	}
+	runShards(shards, embed.Rows, func(lo, hi int) {
+		tensor.MatMatRowsInto(dst, embed, finals, lo, hi)
+	})
+}
+
+// shardsFor picks the shard count for a GEMM of the given total work:
+// bounded by the worker budget, the output dimension, and the per-shard
+// work floor.
+func (bw *BatchWorkspace) shardsFor(work, dim int) int {
+	shards := bw.workers
+	if shards > dim {
+		shards = dim
+	}
+	if max := work / gemmShardMin; shards > max {
+		shards = max
+	}
+	return shards
+}
+
+// runShards splits [0, total) into shards contiguous ranges and runs fn on
+// each, the first on the calling goroutine. fn must write only its range.
+func runShards(shards, total int, fn func(lo, hi int)) {
+	chunk := (total + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := chunk; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}

@@ -1,9 +1,11 @@
 package model
 
 import (
+	"runtime"
 	"testing"
 
 	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/tensor"
 )
 
 func BenchmarkPrefill256(b *testing.B) {
@@ -58,6 +60,69 @@ func BenchmarkDecodeSteady(b *testing.B) {
 		m.ForwardInto(ws, i%Tiny().Vocab, cache.TotalAppended(), cache)
 	}
 }
+
+// Batched steady-state decode: 8 concurrent streams, context held in
+// [64, 128) per stream — the short-to-mid context regime where weight
+// streaming dominates a decode step, which is the regime batched serving
+// amortizes. Each benchmark iteration advances all 8 streams one token;
+// aggregate tokens/s = 8e9 / ns_per_op. The *Sequential twins run the
+// identical workload through 8 independent per-session ForwardInto steps
+// (the pre-fusion StepAll plane), so fused/sequential is the speedup of
+// the weight-stationary batched plane; output streams are bit-identical
+// between the two (TestForwardBatchIntoBitIdentical).
+func benchSteadyBatch(b *testing.B, cfg Config, fused bool) {
+	const B = 8
+	m := New(cfg, 1)
+	ws := m.NewWorkspace()
+	bw := m.NewBatchWorkspace(B)
+	// Mirror core.StepAllInto: -cpu 1 benches the serial fused step,
+	// -cpu 4 the row/lane-sharded one.
+	bw.SetWorkers(runtime.GOMAXPROCS(0))
+	caches := make([]kvcache.Cache, B)
+	tokens := make([]int, B)
+	positions := make([]int, B)
+	reset := func() {
+		for lane := 0; lane < B; lane++ {
+			caches[lane] = kvcache.NewFull(m.CacheShape())
+			n := 64 + lane
+			prompt := make([]int, n)
+			for i := range prompt {
+				prompt[i] = (lane*131 + i*17) % cfg.Vocab
+			}
+			m.PrefillInto(ws, prompt, caches[lane])
+			positions[lane] = n
+			tokens[lane] = (lane * 37) % cfg.Vocab
+		}
+	}
+	reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if positions[0] >= 128 {
+			b.StopTimer()
+			reset()
+			b.StartTimer()
+		}
+		if fused {
+			results := m.ForwardBatchInto(bw, tokens, positions, caches)
+			for lane := range results {
+				tokens[lane] = tensor.Argmax(results[lane].Logits)
+				positions[lane]++
+			}
+		} else {
+			for lane := 0; lane < B; lane++ {
+				sr := m.ForwardInto(ws, tokens[lane], positions[lane], caches[lane])
+				tokens[lane] = tensor.Argmax(sr.Logits)
+				positions[lane]++
+			}
+		}
+	}
+}
+
+func BenchmarkDecodeSteadyBatched(b *testing.B)        { benchSteadyBatch(b, Small(), true) }
+func BenchmarkDecodeSteadySequential(b *testing.B)     { benchSteadyBatch(b, Small(), false) }
+func BenchmarkDecodeSteadyBatchedTiny(b *testing.B)    { benchSteadyBatch(b, Tiny(), true) }
+func BenchmarkDecodeSteadySequentialTiny(b *testing.B) { benchSteadyBatch(b, Tiny(), false) }
 
 // BenchmarkDecodeSteadyPaged is BenchmarkDecodeSteady over the page-granular
 // flat cache, pricing the block-table indirection of the paged hot path.

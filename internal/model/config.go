@@ -84,6 +84,18 @@ func TinyMHA() Config {
 	return c
 }
 
+// Small returns a serving-shaped runnable model: wide enough (256 hidden,
+// 1024 FFN) that per-layer weight GEMMs dominate a decode step the way
+// they do on real models, which is the regime the fused batched decode
+// plane targets and the batched throughput benchmarks measure. Tiny stays
+// the accuracy substrate; Small is the performance substrate.
+func Small() Config {
+	return Config{
+		Name: "small-llama", Layers: 4, Heads: 8, KVHeads: 4, HeadDim: 32,
+		FFNDim: 1024, Vocab: 1024, MaxSeq: 4096,
+	}
+}
+
 // Full-size shape descriptors. Only their shapes are used (by the cost
 // model); they are never instantiated as weight tensors.
 var (
@@ -99,10 +111,10 @@ var (
 	LLaMA31_8B = Config{Name: "llama-3.1-8b", Layers: 32, Heads: 32, KVHeads: 8, HeadDim: 128, FFNDim: 14336, Vocab: 128256, MaxSeq: 131072}
 )
 
-// All returns every named shape descriptor, full-size then tiny — the
+// All returns every named shape descriptor, full-size then runnable — the
 // resolution set of ByName.
 func All() []Config {
-	return []Config{LLaMA2_7B, LLaMA2_13B, LLaMA2_70B, Mistral7B, LLaMA31_8B, Tiny(), TinyMHA()}
+	return []Config{LLaMA2_7B, LLaMA2_13B, LLaMA2_70B, Mistral7B, LLaMA31_8B, Tiny(), TinyMHA(), Small()}
 }
 
 // ByName returns a shape descriptor by its Name field.

@@ -9,7 +9,12 @@ import (
 	"rethinkkv/internal/tensor"
 )
 
-// layerWeights holds one transformer block's parameters.
+// layerWeights holds one transformer block's parameters. Each projection
+// matrix is stored twice: in the historical row-major orientation the
+// per-stream kernels (VecMatInto) traverse column-major, and as a
+// transposed copy the fused batched decode plane streams row-major
+// (tensor.MatTMatTransInto). Both orientations hold identical values;
+// weights are immutable after New, so the copies never diverge.
 type layerWeights struct {
 	attnNorm []float32
 	wq       *tensor.Matrix // Hidden × Hidden
@@ -20,6 +25,9 @@ type layerWeights struct {
 	wGate    *tensor.Matrix // Hidden × FFNDim
 	wUp      *tensor.Matrix // Hidden × FFNDim
 	wDown    *tensor.Matrix // FFNDim × Hidden
+
+	wqT, wkT, wvT, woT   *tensor.Matrix // transposed copies for the batched plane
+	wGateT, wUpT, wDownT *tensor.Matrix
 }
 
 // Model is a runnable tiny transformer with deterministic random weights.
@@ -27,13 +35,15 @@ type layerWeights struct {
 // workspace used by the convenience entry points (Forward, Prefill,
 // Generate), which therefore must not be called concurrently on one Model.
 // Concurrent decoding is safe via per-goroutine workspaces: NewWorkspace +
-// ForwardInto.
+// ForwardInto, or one fused BatchWorkspace + ForwardBatchInto.
 type Model struct {
-	cfg    Config
-	embed  *tensor.Matrix // Vocab × Hidden (tied with the LM head)
-	layers []layerWeights
-	norm   []float32
-	ws     *Workspace // default workspace for the non-Into entry points
+	cfg       Config
+	embed     *tensor.Matrix // Vocab × Hidden (tied with the LM head)
+	layers    []layerWeights
+	norm      []float32
+	ropeFreqs []float64  // RoPE frequency schedule, precomputed once
+	invSqrtHD float32    // 1/sqrt(HeadDim), the attention score scale
+	ws        *Workspace // default workspace for the non-Into entry points
 }
 
 // Workspace holds every scratch buffer one decode stream needs, sized once
@@ -57,6 +67,10 @@ type Workspace struct {
 	logits  []float32   // LM head output (Vocab)
 	probs   []float32   // temperature-sampling scratch (Vocab)
 	scores  []float32   // attention scores, grown to the sequence length
+	// ropeSin/ropeCos hold the step's rotation coefficients, filled once
+	// per decode position and reused by every head of every layer.
+	ropeSin []float32
+	ropeCos []float32
 }
 
 // NewWorkspace allocates a workspace sized for this model. The score buffer
@@ -81,6 +95,8 @@ func (m *Model) NewWorkspace() *Workspace {
 		logits:  make([]float32, cfg.Vocab),
 		probs:   make([]float32, cfg.Vocab),
 		scores:  make([]float32, 0, cfg.MaxSeq),
+		ropeSin: make([]float32, cfg.HeadDim/2),
+		ropeCos: make([]float32, cfg.HeadDim/2),
 	}
 	ws.kHeads = make([][]float32, cfg.KVHeads)
 	ws.vHeads = make([][]float32, cfg.KVHeads)
@@ -127,9 +143,15 @@ func New(cfg Config, seed uint64) *Model {
 		return v
 	}
 	h := cfg.Hidden()
-	m := &Model{cfg: cfg, embed: randMat(cfg.Vocab, h), norm: ones(h)}
+	m := &Model{
+		cfg:       cfg,
+		embed:     randMat(cfg.Vocab, h),
+		norm:      ones(h),
+		ropeFreqs: tensor.RoPEFreqs(cfg.HeadDim),
+		invSqrtHD: float32(1 / math.Sqrt(float64(cfg.HeadDim))),
+	}
 	for l := 0; l < cfg.Layers; l++ {
-		m.layers = append(m.layers, layerWeights{
+		lw := layerWeights{
 			attnNorm: ones(h),
 			wq:       randMat(h, h),
 			wk:       randMat(h, cfg.KVDim()),
@@ -139,7 +161,15 @@ func New(cfg Config, seed uint64) *Model {
 			wGate:    randMat(h, cfg.FFNDim),
 			wUp:      randMat(h, cfg.FFNDim),
 			wDown:    randMat(cfg.FFNDim, h),
-		})
+		}
+		lw.wqT = tensor.Transpose(lw.wq)
+		lw.wkT = tensor.Transpose(lw.wk)
+		lw.wvT = tensor.Transpose(lw.wv)
+		lw.woT = tensor.Transpose(lw.wo)
+		lw.wGateT = tensor.Transpose(lw.wGate)
+		lw.wUpT = tensor.Transpose(lw.wUp)
+		lw.wDownT = tensor.Transpose(lw.wDown)
+		m.layers = append(m.layers, lw)
 	}
 	m.ws = m.NewWorkspace()
 	return m
@@ -159,6 +189,26 @@ type StepResult struct {
 	// Hidden is the final pre-logit hidden state, used by the accuracy
 	// package to measure representation drift under compression.
 	Hidden []float32
+}
+
+// cachePath caches the interface assertions the decode hot paths probe on
+// a cache, resolved once per step (or once per lane per fused step)
+// instead of per layer.
+type cachePath struct {
+	cache    kvcache.Cache
+	flat     kvcache.FlatReader
+	pager    kvcache.PageReader
+	appender kvcache.FlatAppender
+	observer kvcache.AttentionObserver
+}
+
+func pathOf(c kvcache.Cache) cachePath {
+	cp := cachePath{cache: c}
+	cp.flat, _ = c.(kvcache.FlatReader)
+	cp.pager, _ = c.(kvcache.PageReader)
+	cp.appender, _ = c.(kvcache.FlatAppender)
+	cp.observer, _ = c.(kvcache.AttentionObserver)
+	return cp
 }
 
 // Forward runs one token through the model at absolute position pos,
@@ -193,15 +243,10 @@ func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) 
 	if got, want := cache.Shape(), m.CacheShape(); got != want {
 		panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
 	}
+	cp := pathOf(cache)
 	h := ws.h
 	copy(h, m.embed.Row(token))
-	observer, _ := cache.(kvcache.AttentionObserver)
-	flat, _ := cache.(kvcache.FlatReader)
-	pager, _ := cache.(kvcache.PageReader)
-	cfg := m.cfg
-	hd := cfg.HeadDim
-	group := cfg.GroupSize()
-	invSqrt := float32(1 / math.Sqrt(float64(hd)))
+	tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, pos)
 
 	for l := range m.layers {
 		lw := &m.layers[l]
@@ -209,84 +254,15 @@ func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) 
 		tensor.VecMatInto(ws.q, ws.x, lw.wq)
 		tensor.VecMatInto(ws.k, ws.x, lw.wk)
 		tensor.VecMatInto(ws.v, ws.x, lw.wv)
-
-		// Apply RoPE to the keys in place; ws.kHeads/ws.vHeads are
-		// prebuilt per-head views into ws.k/ws.v. Caches copy on Append.
-		for kh := 0; kh < cfg.KVHeads; kh++ {
-			tensor.ApplyRoPE(ws.kHeads[kh], pos)
-		}
-		cache.Append(l, ws.kHeads, ws.vHeads)
-
-		attnOut := ws.attnOut
-		for i := range attnOut {
-			attnOut[i] = 0
-		}
-		for qh := 0; qh < cfg.Heads; qh++ {
-			copy(ws.qv, ws.q[qh*hd:(qh+1)*hd])
-			tensor.ApplyRoPE(ws.qv, pos)
-			kh := qh / group
-			out := attnOut[qh*hd : (qh+1)*hd]
-			scores := ws.scoresFor(cache.Len(l, kh))
-			switch {
-			case flat != nil:
-				// Flat fast path: stream the strided buffers directly.
-				keys, vals, stride := flat.FlatSeq(l, kh)
-				tensor.DotStrided(scores, ws.qv, keys, stride)
-				tensor.Scale(scores, invSqrt)
-				tensor.Softmax(scores)
-				if observer != nil {
-					observer.ObserveAttention(l, kh, scores)
-				}
-				tensor.AXPYStrided(out, scores, vals, stride)
-			case pager != nil:
-				// Paged fast path: stream flat pages, scores first so the
-				// softmax (and any observer) sees the whole sequence.
-				kps, vps, stride := pager.KVPages(l)
-				off := kh * hd
-				i := 0
-				for p := range kps {
-					t := len(kps[p]) / stride
-					tensor.DotStrided(scores[i:i+t], ws.qv, kps[p][off:], stride)
-					i += t
-				}
-				tensor.Scale(scores, invSqrt)
-				tensor.Softmax(scores)
-				if observer != nil {
-					observer.ObserveAttention(l, kh, scores)
-				}
-				i = 0
-				for p := range vps {
-					t := len(vps[p]) / stride
-					tensor.AXPYStrided(out, scores[i:i+t], vps[p][off:], stride)
-					i += t
-				}
-			default:
-				// Generic path for caches with irregular retained sets
-				// (eviction, quantisation): per-token views from Seq.
-				keys, vals := cache.Seq(l, kh)
-				for i, kv := range keys {
-					scores[i] = tensor.Dot(ws.qv, kv) * invSqrt
-				}
-				tensor.Softmax(scores)
-				if observer != nil {
-					observer.ObserveAttention(l, kh, scores)
-				}
-				for i, w := range scores {
-					tensor.AXPY(out, w, vals[i])
-				}
-			}
-		}
-		tensor.VecMatInto(ws.proj, attnOut, lw.wo)
+		m.attendStep(ws, &cp, l)
+		tensor.VecMatInto(ws.proj, ws.attnOut, lw.wo)
 		tensor.AXPY(h, 1, ws.proj)
 
 		// SiLU-gated FFN.
 		tensor.RMSNormInto(ws.x, h, lw.ffnNorm, 1e-5)
 		tensor.VecMatInto(ws.gate, ws.x, lw.wGate)
 		tensor.VecMatInto(ws.up, ws.x, lw.wUp)
-		tensor.SiLU(ws.gate)
-		for i := range ws.gate {
-			ws.gate[i] *= ws.up[i]
-		}
+		siluMul(ws.gate, ws.up)
 		tensor.VecMatInto(ws.down, ws.gate, lw.wDown)
 		tensor.AXPY(h, 1, ws.down)
 	}
@@ -294,6 +270,100 @@ func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) 
 	tensor.RMSNormInto(ws.final, h, m.norm, 1e-5)
 	tensor.MatVecInto(ws.logits, m.embed, ws.final)
 	return StepResult{Logits: ws.logits, Hidden: ws.final}
+}
+
+// attendStep runs one layer's attention for one stream whose Q/K/V
+// projections are already in the workspace: RoPE the K heads in place
+// (using the step's cached rotation tables), append K/V to the cache, and
+// accumulate each query head's attention output into ws.attnOut. It is the
+// single attention implementation shared by the per-stream (ForwardInto)
+// and fused batched (ForwardBatchInto) planes, which is what makes the two
+// bit-identical by construction.
+func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
+	cfg := m.cfg
+	hd := cfg.HeadDim
+	group := cfg.GroupSize()
+	invSqrt := m.invSqrtHD
+
+	// Apply RoPE to the keys in place; ws.kHeads/ws.vHeads are prebuilt
+	// per-head views into ws.k/ws.v. Caches copy on Append.
+	for kh := 0; kh < cfg.KVHeads; kh++ {
+		tensor.ApplyRoPECached(ws.kHeads[kh], ws.ropeSin, ws.ropeCos)
+	}
+	if cp.appender != nil {
+		cp.appender.AppendFlat(l, ws.k, ws.v)
+	} else {
+		cp.cache.Append(l, ws.kHeads, ws.vHeads)
+	}
+
+	attnOut := ws.attnOut
+	for i := range attnOut {
+		attnOut[i] = 0
+	}
+	for qh := 0; qh < cfg.Heads; qh++ {
+		copy(ws.qv, ws.q[qh*hd:(qh+1)*hd])
+		tensor.ApplyRoPECached(ws.qv, ws.ropeSin, ws.ropeCos)
+		kh := qh / group
+		out := attnOut[qh*hd : (qh+1)*hd]
+		scores := ws.scoresFor(cp.cache.Len(l, kh))
+		switch {
+		case cp.flat != nil:
+			// Flat fast path: stream the strided buffers directly.
+			keys, vals, stride := cp.flat.FlatSeq(l, kh)
+			tensor.DotStrided(scores, ws.qv, keys, stride)
+			tensor.Scale(scores, invSqrt)
+			tensor.Softmax(scores)
+			if cp.observer != nil {
+				cp.observer.ObserveAttention(l, kh, scores)
+			}
+			tensor.AXPYStrided(out, scores, vals, stride)
+		case cp.pager != nil:
+			// Paged fast path: stream flat pages, scores first so the
+			// softmax (and any observer) sees the whole sequence.
+			kps, vps, stride := cp.pager.KVPages(l)
+			off := kh * hd
+			i := 0
+			for p := range kps {
+				t := len(kps[p]) / stride
+				tensor.DotStrided(scores[i:i+t], ws.qv, kps[p][off:], stride)
+				i += t
+			}
+			tensor.Scale(scores, invSqrt)
+			tensor.Softmax(scores)
+			if cp.observer != nil {
+				cp.observer.ObserveAttention(l, kh, scores)
+			}
+			i = 0
+			for p := range vps {
+				t := len(vps[p]) / stride
+				tensor.AXPYStrided(out, scores[i:i+t], vps[p][off:], stride)
+				i += t
+			}
+		default:
+			// Generic path for caches with irregular retained sets
+			// (eviction, quantisation): per-token views from Seq.
+			keys, vals := cp.cache.Seq(l, kh)
+			for i, kv := range keys {
+				scores[i] = tensor.Dot(ws.qv, kv) * invSqrt
+			}
+			tensor.Softmax(scores)
+			if cp.observer != nil {
+				cp.observer.ObserveAttention(l, kh, scores)
+			}
+			for i, w := range scores {
+				tensor.AXPY(out, w, vals[i])
+			}
+		}
+	}
+}
+
+// siluMul applies the gated activation gate = SiLU(gate) ⊙ up in place —
+// one helper so the per-stream and batched planes share the arithmetic.
+func siluMul(gate, up []float32) {
+	tensor.SiLU(gate)
+	for i := range gate {
+		gate[i] *= up[i]
+	}
 }
 
 // Prefill runs every prompt token through the model, filling the cache, and

@@ -199,6 +199,10 @@ type Engine struct {
 	// loop-private state (touched only by the run goroutine).
 	running   []*reqState
 	usedPages int
+	// stepSessions/stepToks are reused across decode iterations so batch
+	// formation and the fused step allocate nothing in steady state.
+	stepSessions []*core.StepSession
+	stepToks     []int
 
 	mu       sync.Mutex
 	queue    []*reqState
@@ -669,11 +673,15 @@ func (e *Engine) stepOnce() {
 		e.mu.Unlock()
 	}
 
-	sessions := make([]*core.StepSession, len(e.running))
-	for i, rs := range e.running {
-		sessions[i] = rs.sess
+	e.stepSessions = e.stepSessions[:0]
+	for _, rs := range e.running {
+		e.stepSessions = append(e.stepSessions, rs.sess)
 	}
-	toks := core.StepAll(e.pool, sessions)
+	if cap(e.stepToks) < len(e.stepSessions) {
+		e.stepToks = make([]int, len(e.stepSessions))
+	}
+	toks := e.stepToks[:len(e.stepSessions)]
+	core.StepAllInto(e.pool, e.stepSessions, toks)
 	now := e.now()
 
 	e.mu.Lock()
@@ -698,6 +706,11 @@ func (e *Engine) stepOnce() {
 	}
 	e.running = kept
 	e.mu.Unlock()
+	// Drop session references so a retired request's KV cache is not
+	// pinned by the reused scratch until the next iteration.
+	for i := range e.stepSessions {
+		e.stepSessions[i] = nil
+	}
 }
 
 // retireLocked closes a request's stream and records its outcome. The

@@ -363,6 +363,54 @@ func ApplyRoPE(x []float32, pos int) {
 	}
 }
 
+// RoPEFreqs returns the standard base-10000 rotary frequency schedule for
+// an even head dimension d: freqs[p] = 10000^(-2p/d). The schedule depends
+// only on d, so callers on the decode hot path precompute it once instead
+// of paying a math.Pow per pair per head per layer per step; the table
+// entries are the exact float64 values ApplyRoPE computes inline.
+func RoPEFreqs(d int) []float64 {
+	if d%2 != 0 {
+		panic("tensor: RoPE requires even head dimension")
+	}
+	freqs := make([]float64, d/2)
+	for i := 0; i < d; i += 2 {
+		freqs[i/2] = math.Pow(10000, -float64(i)/float64(d))
+	}
+	return freqs
+}
+
+// RoPESincosInto fills sin/cos (length len(freqs)) with the rotation
+// coefficients for absolute position pos: float32(Sincos(pos·freqs[p])).
+// One fill serves every head of a decode step — the angles depend only on
+// (pos, head dimension), not on the head or layer.
+func RoPESincosInto(sin, cos []float32, freqs []float64, pos int) {
+	if len(sin) != len(freqs) || len(cos) != len(freqs) {
+		panic("tensor: RoPE table length mismatch")
+	}
+	for p, f := range freqs {
+		s, c := math.Sincos(float64(pos) * f)
+		sin[p] = float32(s)
+		cos[p] = float32(c)
+	}
+}
+
+// ApplyRoPECached rotates x in place using precomputed coefficient tables.
+// When sin/cos were filled by RoPESincosInto over RoPEFreqs(len(x)) for
+// position pos, the result is bit-identical to ApplyRoPE(x, pos): the
+// tables hold exactly the float32(cos)/float32(sin) values the inline path
+// converts per pair, and the rotation arithmetic is unchanged.
+func ApplyRoPECached(x []float32, sin, cos []float32) {
+	if len(x) != 2*len(sin) || len(sin) != len(cos) {
+		panic("tensor: RoPE table length mismatch")
+	}
+	for p, s := range sin {
+		c := cos[p]
+		a, b := x[2*p], x[2*p+1]
+		x[2*p] = a*c - b*s
+		x[2*p+1] = a*s + b*c
+	}
+}
+
 // SiLU applies x * sigmoid(x) elementwise in place (LLaMA's activation).
 func SiLU(xs []float32) {
 	for i, v := range xs {
