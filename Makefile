@@ -18,9 +18,10 @@ test:
 	$(GO) test ./...
 
 # The continuous-batching scheduler and the fused batched step plane under
-# it (sched -> core.StepAllInto -> model.ForwardBatchInto, whose sharded
-# GEMMs spawn goroutines at GOMAXPROCS>1) are the concurrency-heavy
-# packages; run them under the race detector in CI.
+# it (sched -> core.StepMixedInto -> model.ForwardMixedInto, whose sharded
+# GEMMs and chunk attention spawn goroutines at GOMAXPROCS>1) are the
+# concurrency-heavy packages; run them — including the interleaved
+# prefill+decode tests — under the race detector in CI.
 race-sched:
 	$(GO) test -race ./internal/sched ./internal/core ./internal/model
 
@@ -30,13 +31,16 @@ bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
 
 # bench runs the decode and attention hot-path benchmarks with allocation
-# reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched
-# against BENCH_decode.json) and the serving benchmark (compare against
-# BENCH_serve.json; regenerate with `make bench-serve`). Decode benches run
-# at -cpu 1,4 so both the serial fused step and the row/lane-sharded
-# parallel step are exercised; servebench runs at GOMAXPROCS>1 for the same
-# reason (on a single-core machine the sharded paths still execute, they
-# just timeshare).
+# reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched /
+# BenchmarkPrefillChunked256 against BENCH_decode.json) and the serving
+# benchmark (compare against BENCH_serve.json; regenerate with
+# `make bench-serve`), including the long-prompt chunked-prefill scenario
+# (one 512-token prompt arriving over a full decode batch; see
+# long_prompt_scenario in BENCH_serve.json). Decode benches run at -cpu 1,4
+# so both the serial fused step and the row/lane-sharded parallel step are
+# exercised; servebench runs at GOMAXPROCS>1 for the same reason (on a
+# single-core machine the sharded paths still execute, they just
+# timeshare).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
 	GOMAXPROCS=4 $(GO) run ./cmd/servebench

@@ -85,6 +85,11 @@ func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
 		// name is a construction-time mistake either way.
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
 	}
+	if cfg.prefillChunk <= 0 {
+		// Likewise real-engine-only, but fail at construction like
+		// NewServer rather than mid-ServeTrace with an untyped error.
+		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	}
 	sim := &serving.Cluster{BatchCap: cfg.batchCap, LM: gen.Default(), Seed: cfg.seed}
 	for i, name := range methods {
 		m, err := resolveMethod(name)
@@ -158,13 +163,14 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 	epoch := time.Now()
 	for i := range engines {
 		eng, err := sched.New(m, sched.Config{
-			MaxBatch:   c.cfg.maxBatch,
-			PageTokens: c.cfg.pageTokens,
-			KVPages:    c.cfg.kvPages,
-			MaxNew:     c.cfg.maxNew,
-			Policy:     c.cfg.schedPol,
-			GPU:        i,
-			Epoch:      epoch,
+			MaxBatch:     c.cfg.maxBatch,
+			PageTokens:   c.cfg.pageTokens,
+			KVPages:      c.cfg.kvPages,
+			MaxNew:       c.cfg.maxNew,
+			PrefillChunk: c.cfg.prefillChunk,
+			Policy:       c.cfg.schedPol,
+			GPU:          i,
+			Epoch:        epoch,
 		})
 		if err != nil {
 			return nil, translateServeErr(err)

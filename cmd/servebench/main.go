@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rethinkkv"
@@ -50,10 +51,33 @@ type rateResult struct {
 }
 
 type report struct {
-	Description string       `json:"description"`
-	Machine     string       `json:"machine"`
-	Workload    workloadDesc `json:"workload"`
-	Rates       []rateResult `json:"rates"`
+	Description string              `json:"description"`
+	Machine     string              `json:"machine"`
+	Workload    workloadDesc        `json:"workload"`
+	Rates       []rateResult        `json:"rates"`
+	LongPrompt  *longPromptScenario `json:"long_prompt_scenario,omitempty"`
+}
+
+// longPromptScenario measures what chunked prefill exists for: a long
+// prompt arriving while a batch of streams decodes. Per chunk setting it
+// reports the long prompt's TTFT and the worst inter-token gap any running
+// decode stream saw during the prefill window — unchunked (chunk >= prompt)
+// the whole prefill lands in one iteration and every stream stalls for it;
+// chunked, the gap is bounded by roughly one chunk's step time.
+type longPromptScenario struct {
+	Description      string             `json:"description"`
+	Decoders         int                `json:"decoders"`
+	LongPromptTokens int                `json:"long_prompt_tokens"`
+	DecoderMaxNew    int                `json:"decoder_max_new"`
+	Runs             []longPromptResult `json:"runs"`
+}
+
+type longPromptResult struct {
+	PrefillChunk   int     `json:"prefill_chunk"`
+	LongTTFTMs     float64 `json:"long_prompt_ttft_ms"`
+	MaxDecodeGapMs float64 `json:"max_decode_gap_ms_during_prefill"`
+	PrefillChunks  int     `json:"prefill_chunks"`
+	MixedSteps     int     `json:"mixed_steps"`
 }
 
 type workloadDesc struct {
@@ -81,6 +105,8 @@ func main() {
 	pageTokens := flag.Int("pagetokens", 16, "KV page size in tokens")
 	policy := flag.String("policy", rethinkkv.SchedFCFS, "scheduling policy")
 	rates := flag.String("rates", "0,25,100", "comma-separated arrival rates (rps; 0 = closed loop)")
+	longLen := flag.Int("longprompt", 512, "long-prompt scenario prompt length (0 disables the scenario)")
+	longChunks := flag.String("longchunks", "whole,64,16", "prefill chunk settings for the long-prompt scenario ('whole' = unchunked)")
 	seed := flag.Uint64("seed", 7, "workload and weight seed")
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	flag.Parse()
@@ -141,6 +167,14 @@ func main() {
 		rep.Rates = append(rep.Rates, r)
 		fmt.Fprintf(os.Stderr, "rps=%-6.0f seq %7.1f tok/s   cont %7.1f tok/s   speedup %.2fx   ttft p50 %6.1fms -> %6.1fms\n",
 			rps, r.SeqTokensPerSec, r.ContTokensPerSec, r.Speedup, r.SeqTTFTP50Ms, r.ContTTFTP50Ms)
+	}
+
+	if *longLen > 0 {
+		sc, err := runLongPromptScenario(*batch, *longLen, *longChunks, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep.LongPrompt = sc
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -244,6 +278,118 @@ func runContinuous(reqs []request, prefix []int, maxNew, batch, pages, pageToken
 		return nil, rethinkkv.ServerStats{}, err
 	}
 	return srv.Outcomes(), srv.Stats(), nil
+}
+
+// runLongPromptScenario starts `decoders` short-prompt streams, lets them
+// reach steady-state decode, then submits one long prompt and measures (a)
+// its TTFT and (b) the largest inter-token gap any decoder stream saw while
+// the long prompt prefilled. It runs once per chunk setting.
+func runLongPromptScenario(decoders, longLen int, chunkSpec string, seed uint64) (*longPromptScenario, error) {
+	const vocab = 512
+	const decoderMaxNew = 160
+	sc := &longPromptScenario{
+		Description:      "One long prompt arriving while a full batch decodes. max_decode_gap is the worst inter-token gap across the running streams inside the long prompt's prefill window; 'whole' prefills the prompt in a single iteration (the pre-chunking behaviour) and stalls every stream for the full prompt cost, chunked settings bound the gap by one chunk's step time.",
+		Decoders:         decoders,
+		LongPromptTokens: longLen,
+		DecoderMaxNew:    decoderMaxNew,
+	}
+	longPrompt := make([]int, longLen)
+	for i := range longPrompt {
+		longPrompt[i] = int((uint64(i)*2654435761 + seed) % vocab)
+	}
+	for _, spec := range strings.Split(chunkSpec, ",") {
+		spec = strings.TrimSpace(spec)
+		chunk := longLen // "whole": the prompt lands in one iteration
+		if spec != "whole" {
+			c, err := strconv.Atoi(spec)
+			if err != nil {
+				return nil, fmt.Errorf("bad chunk %q: %w", spec, err)
+			}
+			chunk = c
+		}
+		srv, err := rethinkkv.NewServer(
+			rethinkkv.WithSeed(seed),
+			rethinkkv.WithMaxNewTokens(decoderMaxNew),
+			rethinkkv.WithMaxBatch(decoders+1),
+			rethinkkv.WithPageTokens(16),
+			rethinkkv.WithPrefillChunk(chunk),
+		)
+		if err != nil {
+			return nil, err
+		}
+		// Start the decoders and record every token's arrival time.
+		var mu sync.Mutex
+		stamps := make([][]time.Time, decoders)
+		var started sync.WaitGroup
+		var drained sync.WaitGroup
+		started.Add(decoders)
+		drained.Add(decoders)
+		for i := 0; i < decoders; i++ {
+			prompt := []int{int((uint64(i)*31 + seed) % vocab), int((uint64(i)*17 + 3) % vocab)}
+			ch, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			go func(i int, ch <-chan rethinkkv.Token) {
+				first := true
+				for range ch {
+					now := time.Now()
+					mu.Lock()
+					stamps[i] = append(stamps[i], now)
+					mu.Unlock()
+					if first {
+						started.Done()
+						first = false
+					}
+				}
+				drained.Done()
+			}(i, ch)
+		}
+		started.Wait() // every decoder is mid-stream before the long prompt lands
+
+		submitAt := time.Now()
+		longCh, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: longPrompt, MaxNew: 8})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		var firstLong time.Time
+		for tok := range longCh {
+			if firstLong.IsZero() {
+				firstLong = time.Now()
+			}
+			_ = tok
+		}
+		drained.Wait()
+		st := srv.Stats()
+		srv.Close()
+
+		// Worst decoder gap whose span overlaps the prefill window.
+		maxGap := time.Duration(0)
+		for i := range stamps {
+			for j := 1; j < len(stamps[i]); j++ {
+				t0, t1 := stamps[i][j-1], stamps[i][j]
+				if t1.Before(submitAt) || t0.After(firstLong) {
+					continue
+				}
+				if gap := t1.Sub(t0); gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		r := longPromptResult{
+			PrefillChunk:   chunk,
+			LongTTFTMs:     1000 * firstLong.Sub(submitAt).Seconds(),
+			MaxDecodeGapMs: 1000 * maxGap.Seconds(),
+			PrefillChunks:  st.PrefillChunks,
+			MixedSteps:     st.MixedSteps,
+		}
+		sc.Runs = append(sc.Runs, r)
+		fmt.Fprintf(os.Stderr, "longprompt chunk=%-5s ttft %7.1fms   max decode gap %7.1fms   mixed steps %d\n",
+			spec, r.LongTTFTMs, r.MaxDecodeGapMs, r.MixedSteps)
+	}
+	return sc, nil
 }
 
 func fatal(err error) {

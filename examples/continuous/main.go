@@ -26,7 +26,8 @@ func main() {
 		rethinkkv.WithMaxNewTokens(12),
 		rethinkkv.WithMaxBatch(4),
 		rethinkkv.WithPageTokens(16),
-		rethinkkv.WithKVPages(64), // tight budget: preemption is possible
+		rethinkkv.WithKVPages(64),      // tight budget: preemption is possible
+		rethinkkv.WithPrefillChunk(16), // prompts prefill 16 tokens/iteration, interleaved with decode
 		rethinkkv.WithSharedPrefix(system),
 	)
 	if err != nil {

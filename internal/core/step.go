@@ -109,6 +109,12 @@ type StepBatch struct {
 	caches    []kvcache.Cache
 }
 
+// Batch exposes the underlying fused batch workspace, for callers that
+// drive the model's batched entry points directly (e.g. construction-time
+// chunked prefill of a shared prefix) with the same pooled scratch the
+// step loop reuses.
+func (sb *StepBatch) Batch() *model.BatchWorkspace { return sb.bw }
+
 func (sb *StepBatch) ensure(n int) {
 	sb.bw.EnsureLanes(n)
 	if cap(sb.tokens) < n {
@@ -187,6 +193,17 @@ func ResumeStepSession(m *model.Model, ws *model.Workspace, cache kvcache.Cache,
 		logits = sr.Logits
 	}
 	return &StepSession{m: m, cache: cache, pos: pos + len(tail), next: tensor.Argmax(logits)}, nil
+}
+
+// NewPrefilledStepSession wraps a cache whose prompt is already fully
+// prefilled — by chunked prefill through StepMixedInto — into a decode
+// session. next is the first output token, decided from the final prompt
+// position's logits (StepMixedInto returns it for a Final chunk). The
+// resulting token stream is identical to NewStepSession's over the same
+// prompt: both decide the first token from the same logits and decode the
+// same cache.
+func NewPrefilledStepSession(m *model.Model, cache kvcache.Cache, next int) *StepSession {
+	return &StepSession{m: m, cache: cache, pos: cache.TotalAppended(), next: next}
 }
 
 // Step emits the session's next token and advances one position: the
@@ -270,6 +287,74 @@ func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
 		s.pos++
 	}
 	pool.PutBatch(sb)
+}
+
+// PrefillChunk describes one prompt chunk advanced in the same fused pass
+// as a decode iteration — the scheduler's unit of interleaved prefill work.
+// The cache accumulates the prompt across successive chunks (its
+// TotalAppended is the chunk's starting position); Final marks the prompt's
+// last chunk, whose end-of-prompt logits decide the request's first output
+// token.
+type PrefillChunk struct {
+	Tokens []int
+	Cache  kvcache.Cache
+	Final  bool
+}
+
+// StepMixedInto is StepAllInto plus at most one prefill chunk carried in
+// the same fused pass: every running session advances one token and the
+// chunk's positions prefill into its cache, with each weight matrix loaded
+// once for all of it (model.ForwardMixedInto). Emitted tokens are
+// bit-identical to per-session stepping and the chunk's cache writes to
+// token-at-a-time prefill. It returns the chunk request's first decode
+// token when chunk.Final, else -1. A nil chunk is exactly StepAllInto;
+// an empty session set runs the chunk alone (pure prefill iteration).
+// Sessions not sharing the pool's model fall back to per-goroutine steps
+// with the chunk fused separately.
+func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunk *PrefillChunk) int {
+	if chunk == nil {
+		StepAllInto(pool, sessions, toks)
+		return -1
+	}
+	if len(toks) != len(sessions) {
+		panic("core: StepMixedInto toks length mismatch")
+	}
+	m := pool.m
+	for _, s := range sessions {
+		if s.m != m {
+			// Heterogeneous sessions cannot share the pooled fused pass:
+			// step them per-goroutine, then run the chunk on its own.
+			stepHeterogeneous(pool, sessions, toks)
+			sessions = nil
+			break
+		}
+	}
+	n := len(sessions)
+	sb := pool.GetBatch()
+	sb.ensure(n)
+	for i, s := range sessions {
+		toks[i] = s.next
+		sb.tokens[i] = s.next
+		sb.positions[i] = s.pos
+		sb.caches[i] = s.cache
+	}
+	mc := model.Chunk{
+		Tokens:     chunk.Tokens,
+		Pos:        chunk.Cache.TotalAppended(),
+		Cache:      chunk.Cache,
+		NeedLogits: chunk.Final,
+	}
+	sb.bw.SetWorkers(runtime.GOMAXPROCS(0))
+	results, chunkRes := m.ForwardMixedInto(sb.bw, sb.tokens[:n], sb.positions[:n], sb.caches[:n], &mc)
+	for i, s := range sessions {
+		s.next = tensor.Argmax(results[i].Logits)
+		s.pos++
+	}
+	pool.PutBatch(sb)
+	if chunk.Final {
+		return tensor.Argmax(chunkRes.Logits)
+	}
+	return -1
 }
 
 // stepHeterogeneous steps sessions whose models differ: one goroutine per

@@ -201,6 +201,100 @@ func TestStepAllForeignModel(t *testing.T) {
 	}
 }
 
+// TestStepMixedIntoMatchesStepAll drives a decode batch while a long
+// prompt chunk-prefills through the same fused iterations, then decodes
+// the prefilled request via NewPrefilledStepSession: every stream — the
+// concurrent decoders and the chunked request — must emit exactly the
+// tokens per-session stepping produces.
+func TestStepMixedIntoMatchesStepAll(t *testing.T) {
+	m := model.New(model.Tiny(), 9)
+	ws := m.NewWorkspace()
+	pool := NewWorkspacePool(m)
+
+	decodePrompts := [][]int{
+		{1, 2, 3, 4, 5},
+		{50, 60, 70},
+	}
+	longPrompt := make([]int, 37)
+	for i := range longPrompt {
+		longPrompt[i] = (i*23 + 11) % m.Config().Vocab
+	}
+	const maxNew = 10
+
+	// References: plain per-session stepping for everything.
+	want := make([][]int, len(decodePrompts)+1)
+	for i, prompt := range append(append([][]int{}, decodePrompts...), longPrompt) {
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < maxNew; step++ {
+			want[i] = append(want[i], s.Step(ws))
+		}
+	}
+
+	sessions := make([]*StepSession, len(decodePrompts))
+	got := make([][]int, len(decodePrompts)+1)
+	for i, prompt := range decodePrompts {
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	// Chunk the long prompt at 8 across mixed iterations; decoders advance
+	// one token per iteration alongside.
+	longCache := kvcache.NewPagedKV(m.CacheShape(), 8)
+	toks := make([]int, len(sessions))
+	var longSess *StepSession
+	for off := 0; off < len(longPrompt); off += 8 {
+		end := off + 8
+		if end > len(longPrompt) {
+			end = len(longPrompt)
+		}
+		chunk := &PrefillChunk{Tokens: longPrompt[off:end], Cache: longCache, Final: end == len(longPrompt)}
+		next := StepMixedInto(pool, sessions, toks, chunk)
+		for i, tok := range toks {
+			got[i] = append(got[i], tok)
+		}
+		if chunk.Final {
+			if next < 0 {
+				t.Fatal("final chunk returned no next token")
+			}
+			longSess = NewPrefilledStepSession(m, longCache, next)
+		} else if next != -1 {
+			t.Fatalf("non-final chunk returned token %d", next)
+		}
+	}
+	// Finish all streams with plain fused stepping.
+	all := append(append([]*StepSession{}, sessions...), longSess)
+	allToks := make([]int, len(all))
+	for steps := 0; ; steps++ {
+		StepMixedInto(pool, all, allToks, nil)
+		for i, tok := range allToks {
+			if len(got[i]) < maxNew {
+				got[i] = append(got[i], tok)
+			}
+		}
+		done := true
+		for i := range got {
+			if len(got[i]) < maxNew {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("stream %d token %d: mixed %d != per-session %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
 // TestStepAllIntoAllocFree proves the serial fused serving step allocates
 // nothing in steady state: pooled StepBatch, reused toks, paged caches
 // sized past the decode window. (AllocsPerRun pins GOMAXPROCS to 1, so

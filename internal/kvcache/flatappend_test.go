@@ -76,6 +76,135 @@ func TestAppendFlatMatchesAppend(t *testing.T) {
 	}
 }
 
+// fillSpan builds an n-token contiguous token-major K/V span (token t at
+// offset t*stride), seeded per token like fillToken.
+func fillSpan(shape Shape, n, seed int) (k, v []float32) {
+	stride := shape.KVHeads * shape.HeadDim
+	k = make([]float32, 0, n*stride)
+	v = make([]float32, 0, n*stride)
+	for t := 0; t < n; t++ {
+		_, _, kF, vF := fillToken(shape, seed+t)
+		k = append(k, kF...)
+		v = append(v, vF...)
+	}
+	return k, v
+}
+
+// TestAppendFlatNMatchesAppendFlat pins the multi-token append against
+// token-at-a-time AppendFlat bit-for-bit on both flat-storage caches,
+// across span sizes that leave pages partial, exactly full, and crossing
+// multiple page boundaries from a non-aligned start.
+func TestAppendFlatNMatchesAppendFlat(t *testing.T) {
+	shape := Shape{Layers: 2, KVHeads: 3, HeadDim: 4}
+	// Span sizes interleaved so PagedKV (pageTokens=4) sees partial fills,
+	// exact fills, and multi-page spans starting mid-page.
+	spans := []int{1, 3, 4, 9, 2, 0, 5}
+	caches := []struct {
+		name    string
+		viaOne  Cache
+		viaMany Cache
+	}{
+		{"full", NewFull(shape), NewFull(shape)},
+		{"paged", NewPagedKV(shape, 4), NewPagedKV(shape, 4)},
+	}
+	for _, tc := range caches {
+		many, ok := tc.viaMany.(FlatBatchAppender)
+		if !ok {
+			t.Fatalf("%s: no FlatBatchAppender", tc.name)
+		}
+		one := tc.viaOne.(FlatAppender)
+		stride := shape.KVHeads * shape.HeadDim
+		seed := 0
+		for _, n := range spans {
+			k, v := fillSpan(shape, n, seed)
+			seed += n
+			for l := 0; l < shape.Layers; l++ {
+				for tok := 0; tok < n; tok++ {
+					one.AppendFlat(l, k[tok*stride:(tok+1)*stride], v[tok*stride:(tok+1)*stride])
+				}
+				many.AppendFlatN(l, n, k, v)
+			}
+		}
+		if got, want := tc.viaMany.TotalAppended(), tc.viaOne.TotalAppended(); got != want {
+			t.Fatalf("%s: appended %d != %d", tc.name, got, want)
+		}
+		for l := 0; l < shape.Layers; l++ {
+			for h := 0; h < shape.KVHeads; h++ {
+				wk, wv := tc.viaOne.Seq(l, h)
+				gk, gv := tc.viaMany.Seq(l, h)
+				if len(gk) != len(wk) {
+					t.Fatalf("%s: seq len %d != %d", tc.name, len(gk), len(wk))
+				}
+				for i := range wk {
+					for d := 0; d < shape.HeadDim; d++ {
+						if math.Float32bits(gk[i][d]) != math.Float32bits(wk[i][d]) ||
+							math.Float32bits(gv[i][d]) != math.Float32bits(wv[i][d]) {
+							t.Fatalf("%s: entry (%d,%d,%d,%d) differs", tc.name, l, h, i, d)
+						}
+					}
+				}
+			}
+		}
+		// Page boundaries must match too, not just the logical sequence.
+		pOne, okOne := tc.viaOne.(PageReader)
+		pMany, okMany := tc.viaMany.(PageReader)
+		if okOne && okMany {
+			for l := 0; l < shape.Layers; l++ {
+				kw, _, _ := pOne.KVPages(l)
+				kg, _, _ := pMany.KVPages(l)
+				if len(kg) != len(kw) {
+					t.Fatalf("%s: %d pages != %d", tc.name, len(kg), len(kw))
+				}
+				for p := range kw {
+					if len(kg[p]) != len(kw[p]) {
+						t.Fatalf("%s: page %d length %d != %d", tc.name, p, len(kg[p]), len(kw[p]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendFlatNBudgetPanics verifies the multi-token append honours the
+// page budget: a span that would open a page past the budget panics with
+// ErrOutOfPages, exactly like token-at-a-time appends.
+func TestAppendFlatNBudgetPanics(t *testing.T) {
+	shape := Shape{Layers: 1, KVHeads: 1, HeadDim: 2}
+	c := NewPagedKVBudget(shape, 2, 1) // one 2-token page
+	k, v := fillSpan(shape, 3, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic past budget")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrOutOfPages) {
+			t.Fatalf("panic %v is not ErrOutOfPages", r)
+		}
+	}()
+	c.AppendFlatN(0, 3, k, v)
+}
+
+// TestAppendFlatNAllocFree pins the steady-state cost of the multi-token
+// append: spans landing inside already-allocated page capacity copy without
+// heap allocation (page opening is the only allocating event, priced by the
+// prefill benchmarks).
+func TestAppendFlatNAllocFree(t *testing.T) {
+	shape := Shape{Layers: 2, KVHeads: 2, HeadDim: 4}
+	const n = 4
+	c := NewPagedKV(shape, 4096) // page big enough for the whole run
+	k, v := fillSpan(shape, n, 3)
+	for l := 0; l < shape.Layers; l++ { // open each layer's first page
+		c.AppendFlatN(l, n, k, v)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for l := 0; l < shape.Layers; l++ {
+			c.AppendFlatN(l, n, k, v)
+		}
+	}); allocs != 0 {
+		t.Fatalf("AppendFlatN allocated %v per run", allocs)
+	}
+}
+
 // TestAppendFlatBudgetPanics verifies AppendFlat honours the page budget
 // exactly like Append: an unreserved append past the budget panics with
 // ErrOutOfPages.

@@ -86,6 +86,24 @@ type FlatAppender interface {
 	AppendFlat(layer int, k, v []float32)
 }
 
+// FlatBatchAppender is the multi-token extension of FlatAppender: one call
+// appends n consecutive tokens' K/V for a layer. k and v hold n whole-token
+// vectors back to back (token t at offset t*KVHeads*HeadDim), and the stored
+// bytes are identical to n successive AppendFlat calls over the same spans —
+// the two entry points are interchangeable bit-for-bit. The chunked prefill
+// plane (model.PrefillChunkInto) uses it to land a whole prompt chunk's K/V
+// with one call per layer instead of one per (token, layer).
+//
+// Unlike the decode-time FlatAppender — where cross-session batching is
+// impossible because every stream owns a distinct cache — the chunk case
+// batches *within* one sequence, so a real multi-token append exists: Full
+// grows its flat buffer once, PagedKV splits the span across pages under
+// the same budget rules as single-token appends.
+type FlatBatchAppender interface {
+	FlatAppender
+	AppendFlatN(layer, n int, k, v []float32)
+}
+
 // FlatReader is the optional zero-copy fast path over a cache whose retained
 // entries for a head live at a regular stride in one contiguous buffer.
 // Entry i's vector occupies kv[i*stride : i*stride+HeadDim] for
@@ -155,6 +173,24 @@ func (c *Full) AppendFlat(layer int, k, v []float32) {
 	c.values[layer] = append(c.values[layer], v...)
 	if layer == c.shape.Layers-1 {
 		c.appended++
+	}
+}
+
+// AppendFlatN implements FlatBatchAppender: n tokens' K/V arrive as one
+// contiguous token-major span and are copied onto the layer's flat buffer
+// in a single append each — exactly the bytes n AppendFlat calls would have
+// stored, in one grow.
+func (c *Full) AppendFlatN(layer, n int, k, v []float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic(fmt.Sprintf("kvcache: layer %d out of range", layer))
+	}
+	if n < 0 || len(k) != n*c.stride() || len(v) != len(k) {
+		panic("kvcache: flat append length mismatch")
+	}
+	c.keys[layer] = append(c.keys[layer], k...)
+	c.values[layer] = append(c.values[layer], v...)
+	if layer == c.shape.Layers-1 {
+		c.appended += n
 	}
 }
 

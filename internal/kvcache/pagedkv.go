@@ -170,6 +170,37 @@ func (c *PagedKV) AppendFlat(layer int, k, v []float32) {
 	}
 }
 
+// AppendFlatN implements FlatBatchAppender: n tokens' K/V arrive as one
+// contiguous token-major span and are split across pages — filling the
+// current partial page, then whole pages, then a trailing partial — under
+// the same budget rules as single-token appends (callers must Reserve
+// first; an unreserved append past the budget panics with ErrOutOfPages).
+// The stored bytes, page boundaries included, are identical to n successive
+// AppendFlat calls over the same spans.
+func (c *PagedKV) AppendFlatN(layer, n int, k, v []float32) {
+	if layer < 0 || layer >= c.shape.Layers {
+		panic("kvcache: layer out of range")
+	}
+	stride := c.stride()
+	if n < 0 || len(k) != n*stride || len(v) != len(k) {
+		panic("kvcache: flat append length mismatch")
+	}
+	pageCap := c.pageTokens * stride
+	for len(k) > 0 {
+		last := c.pageForAppend(layer)
+		room := pageCap - len(c.keyPages[layer][last])
+		if room > len(k) {
+			room = len(k)
+		}
+		c.keyPages[layer][last] = append(c.keyPages[layer][last], k[:room]...)
+		c.valPages[layer][last] = append(c.valPages[layer][last], v[:room]...)
+		k, v = k[room:], v[room:]
+	}
+	if layer == c.shape.Layers-1 {
+		c.appended += n
+	}
+}
+
 // pageForAppend returns the page index the next token's K/V goes into,
 // opening a fresh page — budget-checked, never touching full (possibly
 // shared) pages — when the current one is full.

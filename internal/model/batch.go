@@ -1,7 +1,6 @@
 package model
 
 import (
-	"fmt"
 	"sync"
 
 	"rethinkkv/internal/kvcache"
@@ -37,6 +36,28 @@ type BatchWorkspace struct {
 
 	results []StepResult
 	workers int
+
+	// Chunk scratch (built by ensureChunk, grown on demand): a prefill
+	// chunk's K/V projections land in one contiguous token-major staging
+	// span so a whole chunk appends with one AppendFlatN per layer. Chunk
+	// positions borrow ordinary lanes for every other buffer; only K/V
+	// need the contiguous home.
+	ck, cv           []float32     // capacity chunkCap * KVDim
+	ckTok, cvTok     [][]float32   // per-token views (projection dst)
+	ckHeads, cvHeads [][][]float32 // per-token per-head views (generic Append fallback)
+	chunkCap         int
+	// chunkPath is the chunk cache's resolved fast-path set for the
+	// current step. Living in the (heap) workspace rather than a local
+	// keeps the mixed step allocation-free — a local would escape through
+	// the attention-sharding closure — and is cleared like paths so a
+	// pooled workspace never pins a retired cache.
+	chunkPath cachePath
+
+	// Assembled gather views for mixed steps (decode lanes followed by
+	// chunk positions, or the LM-head row subset). Backing arrays are
+	// reused across steps, so mixed stepping stays allocation-free.
+	mixKs, mixVs       [][]float32
+	lmFinals, lmLogits [][]float32
 }
 
 // NewBatchWorkspace allocates a batch workspace with capacity lanes
@@ -106,70 +127,8 @@ const gemmShardMin = 1 << 15
 // matches VecMatInto exactly (including its zero-skip, via dispatch), and
 // attention/norms/activations share the per-stream code paths.
 func (m *Model) ForwardBatchInto(bw *BatchWorkspace, tokens, positions []int, caches []kvcache.Cache) []StepResult {
-	n := len(tokens)
-	if len(positions) != n || len(caches) != n {
-		panic("model: batch length mismatch")
-	}
-	if n == 0 {
-		return nil
-	}
-	if bw.m != m {
-		panic("model: batch workspace belongs to a different model")
-	}
-	bw.EnsureLanes(n)
-	want := m.CacheShape()
-	for b := 0; b < n; b++ {
-		tok := tokens[b]
-		if tok < 0 || tok >= m.cfg.Vocab {
-			panic(fmt.Sprintf("model: token %d out of range", tok))
-		}
-		if got := caches[b].Shape(); got != want {
-			panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
-		}
-		bw.paths[b] = pathOf(caches[b])
-		ws := bw.lanes[b]
-		copy(ws.h, m.embed.Row(tok))
-		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, positions[b])
-	}
-
-	hs, xs := bw.hs[:n], bw.xs[:n]
-	qs, ks, vs := bw.qs[:n], bw.ks[:n], bw.vs[:n]
-	attnOuts, projs := bw.attnOuts[:n], bw.projs[:n]
-	gates, ups, downs := bw.gates[:n], bw.ups[:n], bw.downs[:n]
-
-	for l := range m.layers {
-		lw := &m.layers[l]
-		tensor.RMSNormRowsInto(xs, hs, lw.attnNorm, 1e-5)
-		bw.project(qs, xs, lw.wq, lw.wqT)
-		bw.project(ks, xs, lw.wk, lw.wkT)
-		bw.project(vs, xs, lw.wv, lw.wvT)
-		bw.attend(l, n)
-		bw.project(projs, attnOuts, lw.wo, lw.woT)
-		for b := 0; b < n; b++ {
-			tensor.AXPY(hs[b], 1, projs[b])
-		}
-		tensor.RMSNormRowsInto(xs, hs, lw.ffnNorm, 1e-5)
-		bw.project(gates, xs, lw.wGate, lw.wGateT)
-		bw.project(ups, xs, lw.wUp, lw.wUpT)
-		for b := 0; b < n; b++ {
-			siluMul(gates[b], ups[b])
-		}
-		bw.project(downs, gates, lw.wDown, lw.wDownT)
-		for b := 0; b < n; b++ {
-			tensor.AXPY(hs[b], 1, downs[b])
-		}
-	}
-
-	finals, logits := bw.finals[:n], bw.logits[:n]
-	tensor.RMSNormRowsInto(finals, hs, m.norm, 1e-5)
-	bw.lmHead(logits, finals)
-	for b := 0; b < n; b++ {
-		bw.results[b] = StepResult{Logits: logits[b], Hidden: finals[b]}
-		// Drop the cache references: a parked (pooled) batch workspace
-		// must not pin retired streams' KV memory.
-		bw.paths[b] = cachePath{}
-	}
-	return bw.results[:n]
+	results, _ := m.ForwardMixedInto(bw, tokens, positions, caches, nil)
+	return results
 }
 
 // project runs one batched projection dst[b] = xs[b]ᵀ·w, column-sharded

@@ -20,6 +20,23 @@ func BenchmarkPrefill256(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefillChunked256 prefills the same 256-token prompt through
+// the fused chunk plane (32 positions per pass) — same cache contents and
+// final logits as BenchmarkPrefill256, with the projection GEMMs batched
+// across prompt positions instead of one VecMat per token.
+func BenchmarkPrefillChunked256(b *testing.B) {
+	m := New(Tiny(), 1)
+	bw := m.NewBatchWorkspace(0)
+	prompt := make([]int, 256)
+	for i := range prompt {
+		prompt[i] = i % Tiny().Vocab
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PrefillChunkInto(bw, prompt, 32, kvcache.NewFull(m.CacheShape()))
+	}
+}
+
 func BenchmarkDecodeStep(b *testing.B) {
 	m := New(Tiny(), 1)
 	cache := kvcache.NewFull(m.CacheShape())

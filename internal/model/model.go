@@ -199,6 +199,7 @@ type cachePath struct {
 	flat     kvcache.FlatReader
 	pager    kvcache.PageReader
 	appender kvcache.FlatAppender
+	batch    kvcache.FlatBatchAppender
 	observer kvcache.AttentionObserver
 }
 
@@ -207,6 +208,7 @@ func pathOf(c kvcache.Cache) cachePath {
 	cp.flat, _ = c.(kvcache.FlatReader)
 	cp.pager, _ = c.(kvcache.PageReader)
 	cp.appender, _ = c.(kvcache.FlatAppender)
+	cp.batch, _ = c.(kvcache.FlatBatchAppender)
 	cp.observer, _ = c.(kvcache.AttentionObserver)
 	return cp
 }
@@ -248,22 +250,26 @@ func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) 
 	copy(h, m.embed.Row(token))
 	tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, pos)
 
+	// Projections dispatch per activation vector exactly like the batched
+	// plane: zero-free vectors stream the transposed copy row-major (the
+	// faster traversal), vectors with exact zeros reproduce VecMatInto's
+	// skip — bit-identical either way (tensor.VecMatTransInto).
 	for l := range m.layers {
 		lw := &m.layers[l]
 		tensor.RMSNormInto(ws.x, h, lw.attnNorm, 1e-5)
-		tensor.VecMatInto(ws.q, ws.x, lw.wq)
-		tensor.VecMatInto(ws.k, ws.x, lw.wk)
-		tensor.VecMatInto(ws.v, ws.x, lw.wv)
+		tensor.VecMatTransInto(ws.q, ws.x, lw.wq, lw.wqT)
+		tensor.VecMatTransInto(ws.k, ws.x, lw.wk, lw.wkT)
+		tensor.VecMatTransInto(ws.v, ws.x, lw.wv, lw.wvT)
 		m.attendStep(ws, &cp, l)
-		tensor.VecMatInto(ws.proj, ws.attnOut, lw.wo)
+		tensor.VecMatTransInto(ws.proj, ws.attnOut, lw.wo, lw.woT)
 		tensor.AXPY(h, 1, ws.proj)
 
 		// SiLU-gated FFN.
 		tensor.RMSNormInto(ws.x, h, lw.ffnNorm, 1e-5)
-		tensor.VecMatInto(ws.gate, ws.x, lw.wGate)
-		tensor.VecMatInto(ws.up, ws.x, lw.wUp)
+		tensor.VecMatTransInto(ws.gate, ws.x, lw.wGate, lw.wGateT)
+		tensor.VecMatTransInto(ws.up, ws.x, lw.wUp, lw.wUpT)
 		siluMul(ws.gate, ws.up)
-		tensor.VecMatInto(ws.down, ws.gate, lw.wDown)
+		tensor.VecMatTransInto(ws.down, ws.gate, lw.wDown, lw.wDownT)
 		tensor.AXPY(h, 1, ws.down)
 	}
 
@@ -280,14 +286,9 @@ func (m *Model) ForwardInto(ws *Workspace, token, pos int, cache kvcache.Cache) 
 // and fused batched (ForwardBatchInto) planes, which is what makes the two
 // bit-identical by construction.
 func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
-	cfg := m.cfg
-	hd := cfg.HeadDim
-	group := cfg.GroupSize()
-	invSqrt := m.invSqrtHD
-
 	// Apply RoPE to the keys in place; ws.kHeads/ws.vHeads are prebuilt
 	// per-head views into ws.k/ws.v. Caches copy on Append.
-	for kh := 0; kh < cfg.KVHeads; kh++ {
+	for kh := 0; kh < m.cfg.KVHeads; kh++ {
 		tensor.ApplyRoPECached(ws.kHeads[kh], ws.ropeSin, ws.ropeCos)
 	}
 	if cp.appender != nil {
@@ -295,6 +296,25 @@ func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
 	} else {
 		cp.cache.Append(l, ws.kHeads, ws.vHeads)
 	}
+	m.attendOver(ws, cp, l, -1)
+}
+
+// attendOver accumulates each query head's attention output into ws.attnOut
+// over the first limit retained entries of layer l. limit < 0 means "every
+// retained entry, per head" — the decode case, where the cache (possibly
+// with eviction, so Len may differ by head) holds exactly the attendable
+// set. Chunked prefill passes the causal bound instead: the cache already
+// holds the whole chunk's K/V, and position p may only see entries 0..p,
+// which addresses by position and therefore requires a cache that retains
+// every token (Full, PagedKV). The K/V for the attended prefix are
+// bit-identical to what a token-at-a-time pass would have cached, and the
+// score/softmax/accumulate arithmetic is shared, so bounded attention here
+// equals full attention then.
+func (m *Model) attendOver(ws *Workspace, cp *cachePath, l, limit int) {
+	cfg := m.cfg
+	hd := cfg.HeadDim
+	group := cfg.GroupSize()
+	invSqrt := m.invSqrtHD
 
 	attnOut := ws.attnOut
 	for i := range attnOut {
@@ -305,10 +325,15 @@ func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
 		tensor.ApplyRoPECached(ws.qv, ws.ropeSin, ws.ropeCos)
 		kh := qh / group
 		out := attnOut[qh*hd : (qh+1)*hd]
-		scores := ws.scoresFor(cp.cache.Len(l, kh))
+		n := limit
+		if n < 0 {
+			n = cp.cache.Len(l, kh)
+		}
+		scores := ws.scoresFor(n)
 		switch {
 		case cp.flat != nil:
-			// Flat fast path: stream the strided buffers directly.
+			// Flat fast path: stream the strided buffers directly; a
+			// causal bound simply truncates the streamed entry count.
 			keys, vals, stride := cp.flat.FlatSeq(l, kh)
 			tensor.DotStrided(scores, ws.qv, keys, stride)
 			tensor.Scale(scores, invSqrt)
@@ -319,12 +344,16 @@ func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
 			tensor.AXPYStrided(out, scores, vals, stride)
 		case cp.pager != nil:
 			// Paged fast path: stream flat pages, scores first so the
-			// softmax (and any observer) sees the whole sequence.
+			// softmax (and any observer) sees the whole sequence; stop
+			// mid-page at the causal bound.
 			kps, vps, stride := cp.pager.KVPages(l)
 			off := kh * hd
 			i := 0
-			for p := range kps {
+			for p := 0; p < len(kps) && i < n; p++ {
 				t := len(kps[p]) / stride
+				if i+t > n {
+					t = n - i
+				}
 				tensor.DotStrided(scores[i:i+t], ws.qv, kps[p][off:], stride)
 				i += t
 			}
@@ -334,8 +363,11 @@ func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
 				cp.observer.ObserveAttention(l, kh, scores)
 			}
 			i = 0
-			for p := range vps {
+			for p := 0; p < len(vps) && i < n; p++ {
 				t := len(vps[p]) / stride
+				if i+t > n {
+					t = n - i
+				}
 				tensor.AXPYStrided(out, scores[i:i+t], vps[p][off:], stride)
 				i += t
 			}
@@ -343,6 +375,7 @@ func (m *Model) attendStep(ws *Workspace, cp *cachePath, l int) {
 			// Generic path for caches with irregular retained sets
 			// (eviction, quantisation): per-token views from Seq.
 			keys, vals := cp.cache.Seq(l, kh)
+			keys, vals = keys[:n], vals[:n]
 			for i, kv := range keys {
 				scores[i] = tensor.Dot(ws.qv, kv) * invSqrt
 			}

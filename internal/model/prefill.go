@@ -1,0 +1,288 @@
+package model
+
+import (
+	"fmt"
+
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/tensor"
+)
+
+// This file is the chunk-granular prefill plane: a prompt advances C
+// positions per fused pass instead of one ForwardInto per token, and the
+// same pass can carry a running decode batch, so a scheduler can interleave
+// a long prompt's prefill with live decode streams without stalling them
+// for the whole prompt (Sarathi/Orca-style chunked prefill).
+//
+// Layer-synchronous chunking is exact, not approximate: within a layer,
+// position p's attention reads the K/V of positions 0..p at that layer,
+// which a chunk pass has just computed from the same layer-(l-1) residuals
+// a token-at-a-time pass would have used. Combined with the per-lane
+// bit-identical batched GEMMs (see gemm.go) and the shared attention
+// arithmetic (attendOver), a chunked prefill is bit-identical to
+// PrefillInto for any chunk size — pinned by prefill_test.go.
+
+// Chunk describes one contiguous span of prompt positions advanced through
+// the fused plane in a single pass. The cache must already hold exactly Pos
+// tokens (0 for a cold start; a ClonePrefix prefix or earlier chunks
+// otherwise) and must retain every position (Full, PagedKV): chunk
+// attention addresses the causal prefix by absolute position.
+type Chunk struct {
+	// Tokens is the span's token ids, non-empty.
+	Tokens []int
+	// Pos is the absolute position of Tokens[0].
+	Pos int
+	// Cache receives the span's K/V; distinct from every decode lane's.
+	Cache kvcache.Cache
+	// NeedLogits requests the last position's logits — set on the prompt's
+	// final chunk, where they decide the first decoded token. Intermediate
+	// chunks skip the LM head entirely (the cache state they leave behind
+	// is all that matters), which also skips the one per-token cost
+	// PrefillInto pays without using.
+	NeedLogits bool
+}
+
+// ForwardMixedInto is ForwardBatchInto plus at most one prefill chunk in
+// the same fused pass: decode stream b forwards tokens[b] at positions[b]
+// against caches[b] exactly as in ForwardBatchInto, and chunk (when
+// non-nil) advances len(chunk.Tokens) positions of one prompt, all sharing
+// a single weight-stationary pass per layer — each projection matrix is
+// loaded once for B decode lanes plus C chunk positions. Attention stays
+// per-stream: decode lanes attend over their own caches, chunk positions
+// causally over their shared cache.
+//
+// Per decode lane the outputs are bit-identical to ForwardInto; the chunk's
+// cache writes (and final logits, when requested) are bit-identical to
+// token-at-a-time PrefillInto over the same span. Results alias bw and are
+// valid until the next call; steady-state mixed stepping performs zero heap
+// allocations (Workers == 1) beyond cache page growth.
+func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, caches []kvcache.Cache, chunk *Chunk) ([]StepResult, StepResult) {
+	B := len(tokens)
+	if len(positions) != B || len(caches) != B {
+		panic("model: batch length mismatch")
+	}
+	if bw.m != m {
+		panic("model: batch workspace belongs to a different model")
+	}
+	want := m.CacheShape()
+	C := 0
+	if chunk != nil {
+		C = len(chunk.Tokens)
+		if C == 0 {
+			panic("model: empty prefill chunk")
+		}
+		if got := chunk.Cache.Shape(); got != want {
+			panic(fmt.Sprintf("model: chunk cache shape %+v does not match model %+v", got, want))
+		}
+		if held := chunk.Cache.TotalAppended(); held != chunk.Pos {
+			panic(fmt.Sprintf("model: chunk cache holds %d tokens, chunk starts at %d", held, chunk.Pos))
+		}
+		bw.chunkPath = pathOf(chunk.Cache)
+	}
+	n := B + C
+	if n == 0 {
+		return nil, StepResult{}
+	}
+	bw.EnsureLanes(n)
+	bw.ensureChunk(C)
+	for b := 0; b < B; b++ {
+		tok := tokens[b]
+		if tok < 0 || tok >= m.cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of range", tok))
+		}
+		if got := caches[b].Shape(); got != want {
+			panic(fmt.Sprintf("model: cache shape %+v does not match model %+v", got, want))
+		}
+		bw.paths[b] = pathOf(caches[b])
+		ws := bw.lanes[b]
+		copy(ws.h, m.embed.Row(tok))
+		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, positions[b])
+	}
+	for i := 0; i < C; i++ {
+		tok := chunk.Tokens[i]
+		if tok < 0 || tok >= m.cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of range", tok))
+		}
+		ws := bw.lanes[B+i]
+		copy(ws.h, m.embed.Row(tok))
+		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, chunk.Pos+i)
+	}
+
+	hs, xs, qs := bw.hs[:n], bw.xs[:n], bw.qs[:n]
+	attnOuts, projs := bw.attnOuts[:n], bw.projs[:n]
+	gates, ups, downs := bw.gates[:n], bw.ups[:n], bw.downs[:n]
+
+	// K/V projection destinations: decode lanes keep their per-lane
+	// buffers; chunk positions write straight into the contiguous staging
+	// span, so the whole chunk appends without a gather copy.
+	ks, vs := bw.ks[:n], bw.vs[:n]
+	if C > 0 {
+		ks = append(bw.mixKs[:0], bw.ks[:B]...)
+		vs = append(bw.mixVs[:0], bw.vs[:B]...)
+		ks = append(ks, bw.ckTok[:C]...)
+		vs = append(vs, bw.cvTok[:C]...)
+		bw.mixKs, bw.mixVs = ks, vs
+	}
+
+	for l := range m.layers {
+		lw := &m.layers[l]
+		tensor.RMSNormRowsInto(xs, hs, lw.attnNorm, 1e-5)
+		bw.project(qs, xs, lw.wq, lw.wqT)
+		bw.project(ks, xs, lw.wk, lw.wkT)
+		bw.project(vs, xs, lw.wv, lw.wvT)
+		bw.attend(l, B)
+		if C > 0 {
+			m.attendChunk(bw, &bw.chunkPath, l, B, C, chunk.Pos)
+		}
+		bw.project(projs, attnOuts, lw.wo, lw.woT)
+		for b := 0; b < n; b++ {
+			tensor.AXPY(hs[b], 1, projs[b])
+		}
+		tensor.RMSNormRowsInto(xs, hs, lw.ffnNorm, 1e-5)
+		bw.project(gates, xs, lw.wGate, lw.wGateT)
+		bw.project(ups, xs, lw.wUp, lw.wUpT)
+		for b := 0; b < n; b++ {
+			siluMul(gates[b], ups[b])
+		}
+		bw.project(downs, gates, lw.wDown, lw.wDownT)
+		for b := 0; b < n; b++ {
+			tensor.AXPY(hs[b], 1, downs[b])
+		}
+	}
+
+	// Final norm is lane-local and cheap, so it runs for every row; the LM
+	// head (Vocab × Hidden per row) runs only for the rows whose logits
+	// anyone reads: the decode lanes, plus the chunk's last position when
+	// the caller asked for it.
+	finals := bw.finals[:n]
+	tensor.RMSNormRowsInto(finals, hs, m.norm, 1e-5)
+	lmF, lmL := bw.finals[:B], bw.logits[:B]
+	if chunk != nil && chunk.NeedLogits {
+		lmF = append(bw.lmFinals[:0], bw.finals[:B]...)
+		lmL = append(bw.lmLogits[:0], bw.logits[:B]...)
+		lmF = append(lmF, bw.finals[n-1])
+		lmL = append(lmL, bw.logits[n-1])
+		bw.lmFinals, bw.lmLogits = lmF, lmL
+	}
+	bw.lmHead(lmL, lmF)
+
+	for b := 0; b < B; b++ {
+		bw.results[b] = StepResult{Logits: bw.logits[b], Hidden: bw.finals[b]}
+		// Drop the cache references: a parked (pooled) batch workspace
+		// must not pin retired streams' KV memory.
+		bw.paths[b] = cachePath{}
+	}
+	var chunkRes StepResult
+	if chunk != nil && chunk.NeedLogits {
+		chunkRes = StepResult{Logits: bw.logits[n-1], Hidden: bw.finals[n-1]}
+	}
+	bw.chunkPath = cachePath{}
+	return bw.results[:B], chunkRes
+}
+
+// PrefillChunkInto prefills prompt into cache through the fused plane,
+// chunkSize positions per pass (chunkSize <= 0, or larger than the prompt,
+// means a single pass). The cache may already hold tokens — a ClonePrefix
+// prefix, or earlier chunks — and must retain every position (Full,
+// PagedKV); the prompt lands after them. Cache contents and the returned
+// last-position result are bit-identical to PrefillInto of the same tokens,
+// for every chunk size; the result aliases bw like ForwardBatchInto's.
+func (m *Model) PrefillChunkInto(bw *BatchWorkspace, prompt []int, chunkSize int, cache kvcache.Cache) StepResult {
+	if len(prompt) == 0 {
+		panic("model: empty prompt")
+	}
+	if chunkSize <= 0 {
+		chunkSize = len(prompt)
+	}
+	base := cache.TotalAppended()
+	var res StepResult
+	for off := 0; off < len(prompt); off += chunkSize {
+		end := off + chunkSize
+		if end > len(prompt) {
+			end = len(prompt)
+		}
+		ch := Chunk{
+			Tokens:     prompt[off:end],
+			Pos:        base + off,
+			Cache:      cache,
+			NeedLogits: end == len(prompt),
+		}
+		_, res = m.ForwardMixedInto(bw, nil, nil, nil, &ch)
+	}
+	return res
+}
+
+// ensureChunk grows the contiguous chunk staging buffers to at least c
+// positions, rebuilding the per-token (and per-head fallback) views.
+func (bw *BatchWorkspace) ensureChunk(c int) {
+	if c <= bw.chunkCap {
+		return
+	}
+	cfg := bw.m.cfg
+	hd := cfg.HeadDim
+	stride := cfg.KVDim()
+	bw.ck = make([]float32, c*stride)
+	bw.cv = make([]float32, c*stride)
+	bw.ckTok = make([][]float32, c)
+	bw.cvTok = make([][]float32, c)
+	bw.ckHeads = make([][][]float32, c)
+	bw.cvHeads = make([][][]float32, c)
+	for i := 0; i < c; i++ {
+		bw.ckTok[i] = bw.ck[i*stride : (i+1)*stride]
+		bw.cvTok[i] = bw.cv[i*stride : (i+1)*stride]
+		bw.ckHeads[i] = make([][]float32, cfg.KVHeads)
+		bw.cvHeads[i] = make([][]float32, cfg.KVHeads)
+		for kh := 0; kh < cfg.KVHeads; kh++ {
+			bw.ckHeads[i][kh] = bw.ckTok[i][kh*hd : (kh+1)*hd]
+			bw.cvHeads[i][kh] = bw.cvTok[i][kh*hd : (kh+1)*hd]
+		}
+	}
+	bw.chunkCap = c
+}
+
+// attendChunk runs one layer's attention for the prefill chunk occupying
+// lanes [base, base+C): RoPE the chunk's keys in place inside the staging
+// span, land all C tokens' K/V in the cache — one AppendFlatN when the
+// cache supports it, else per-token appends of the same bytes — then
+// accumulate each position's causally bounded attention: position Pos+i
+// attends over the first Pos+i+1 entries, exactly the set a token-at-a-time
+// prefill would have seen. Positions are independent once the K/V are
+// cached, so attention lane-shards across workers like decode.
+func (m *Model) attendChunk(bw *BatchWorkspace, cp *cachePath, l, base, C, pos int) {
+	cfg := m.cfg
+	hd := cfg.HeadDim
+	stride := cfg.KVDim()
+	for i := 0; i < C; i++ {
+		ws := bw.lanes[base+i]
+		off := i * stride
+		for kh := 0; kh < cfg.KVHeads; kh++ {
+			tensor.ApplyRoPECached(bw.ck[off+kh*hd:off+(kh+1)*hd], ws.ropeSin, ws.ropeCos)
+		}
+	}
+	switch {
+	case cp.batch != nil:
+		cp.batch.AppendFlatN(l, C, bw.ck[:C*stride], bw.cv[:C*stride])
+	case cp.appender != nil:
+		for i := 0; i < C; i++ {
+			cp.appender.AppendFlat(l, bw.ckTok[i], bw.cvTok[i])
+		}
+	default:
+		for i := 0; i < C; i++ {
+			cp.cache.Append(l, bw.ckHeads[i], bw.cvHeads[i])
+		}
+	}
+	shards := bw.workers
+	if shards > C {
+		shards = C
+	}
+	if shards <= 1 {
+		for i := 0; i < C; i++ {
+			m.attendOver(bw.lanes[base+i], cp, l, pos+i+1)
+		}
+		return
+	}
+	runShards(shards, C, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.attendOver(bw.lanes[base+i], cp, l, pos+i+1)
+		}
+	})
+}

@@ -8,10 +8,16 @@
 // admitted from a policy-ordered queue, join and leave the running batch
 // at every decode iteration (iteration-level scheduling), stream their
 // tokens as they are produced, and are preempted — cache dropped, request
-// requeued for recompute — when the page budget runs out. Greedy decode is
-// deterministic and the paged cache is exact, so a preempted request's
-// final token stream is bit-identical to an uninterrupted run; the
-// recompute only costs time, which the metrics expose.
+// requeued for recompute — when the page budget runs out. Prompts prefill
+// chunk by chunk inside the iteration loop (Sarathi/Orca-style chunked
+// prefill): each iteration fuses the running decode batch with at most one
+// PrefillChunk-token span of the oldest admitted prompt into a single
+// weight-stationary pass, so a long arriving prompt delays running streams
+// by one chunk's step time instead of a whole prompt's. Greedy decode is
+// deterministic, the paged cache exact, and chunked prefill bit-identical
+// to token-at-a-time, so a preempted or chunk-prefilled request's final
+// token stream is bit-identical to an uninterrupted sequential run; the
+// scheduling only costs time, which the metrics expose.
 //
 // Both planes speak one metrics vocabulary: the engine emits the same
 // serving.Outcome records (TTFT, TBOT, E2E) the simulator does, in
@@ -66,6 +72,16 @@ type Config struct {
 	KVPages int
 	// MaxNew is the default per-request decode cap.
 	MaxNew int
+	// PrefillChunk is the prompt-token budget one scheduling iteration
+	// spends on prefill: instead of prefilling a whole admitted prompt
+	// under the engine lock (stalling every running decode stream for the
+	// prompt's full forward cost), the loop advances the oldest admitted
+	// prompt by at most PrefillChunk positions per iteration, fused into
+	// the same weight pass as the running decode batch
+	// (core.StepMixedInto). Smaller chunks bound the inter-token gap
+	// running streams see while a long prompt arrives; larger chunks
+	// finish the prompt's TTFT sooner. 0 means the default (32).
+	PrefillChunk int
 	// Policy is PolicyFCFS (default) or PolicySJF.
 	Policy string
 	// GPU is the id stamped on outcomes (multi-engine replay sets it).
@@ -95,6 +111,12 @@ func (c *Config) normalize() error {
 	}
 	if c.MaxNew <= 0 {
 		c.MaxNew = 32
+	}
+	if c.PrefillChunk == 0 {
+		c.PrefillChunk = 32
+	}
+	if c.PrefillChunk < 0 {
+		return fmt.Errorf("sched: negative prefill chunk %d", c.PrefillChunk)
 	}
 	if c.Policy == "" {
 		c.Policy = PolicyFCFS
@@ -126,13 +148,22 @@ type Request struct {
 
 // Stats are engine-lifetime counters.
 type Stats struct {
-	Steps       int // decode iterations executed
+	Steps       int // scheduling iterations executed (decode, prefill chunk, or both)
 	Admitted    int // admissions incl. re-admissions after preemption
 	Preemptions int // evict-and-requeue events
 	Completed   int // requests finished to their token cap
 	Cancelled   int // requests retired early by their context
 	PeakRunning int // max concurrent decode streams
 	PeakPages   int // max pages in use under the budget
+	// PrefillChunks counts prompt chunks advanced through the fused plane;
+	// MixedSteps counts the iterations that carried both decode lanes and
+	// a prefill chunk in one weight pass — the interleaving the chunked
+	// prefill design exists for. PrefillPreempted counts the preemption
+	// victims caught mid-prefill (their prompt recomputes from scratch on
+	// re-admission).
+	PrefillChunks    int
+	MixedSteps       int
+	PrefillPreempted int
 	// PrefixHits counts admissions served from the shared-prefix cache;
 	// PrefixTokensSaved totals the prefill tokens those hits skipped.
 	PrefixHits        int
@@ -146,9 +177,21 @@ type reqState struct {
 	ctx       context.Context
 	ch        chan Token
 	generated []int
-	// sess/cache are non-nil only while running.
+	// prompt is the token sequence this admission must prefill: the
+	// request prompt, re-extended with already-emitted tokens after a
+	// preemption (recompute). prefilled counts how many of them are in the
+	// cache; the loop advances it chunk by chunk, and sess stays nil until
+	// the whole prompt is in (a mid-prefill request occupies a batch slot
+	// and its reserved pages but contributes no decode lane yet).
+	prompt    []int
+	prefilled int
+	// sess is non-nil only while running with prefill complete; cache is
+	// non-nil for the whole running span, including mid-prefill.
 	sess  *core.StepSession
 	cache *kvcache.PagedKV
+	// retired marks a request stepOnce retired this iteration, so the
+	// running set can be rebuilt outside the emission loop.
+	retired bool
 	// start is the first prefill start; firstTok the first emission. -1
 	// until they happen (preemption does not reset them).
 	start    float64
@@ -199,10 +242,13 @@ type Engine struct {
 	// loop-private state (touched only by the run goroutine).
 	running   []*reqState
 	usedPages int
-	// stepSessions/stepToks are reused across decode iterations so batch
-	// formation and the fused step allocate nothing in steady state.
+	// stepSessions/stepReqs/stepToks/chunk are reused across decode
+	// iterations so batch formation and the fused mixed step allocate
+	// nothing in steady state.
 	stepSessions []*core.StepSession
+	stepReqs     []*reqState
 	stepToks     []int
+	chunk        core.PrefillChunk
 
 	mu       sync.Mutex
 	queue    []*reqState
@@ -250,9 +296,13 @@ func New(m *model.Model, cfg Config) (*Engine, error) {
 				kvcache.ErrOutOfPages, prefixPages, cfg.KVPages)
 		}
 		cache := kvcache.NewPagedKVBudget(m.CacheShape(), cfg.PageTokens, cfg.KVPages)
-		ws := e.pool.Get()
-		e.m.PrefillInto(ws, cfg.SharedPrefix, cache)
-		e.pool.Put(ws)
+		// Construction-time prefill has no decode traffic to interleave
+		// with, but the chunk plane's batched GEMMs still finish a long
+		// prefix several times faster than token-at-a-time ForwardInto —
+		// and warm the pooled batch workspace the loop will reuse.
+		sb := e.pool.GetBatch()
+		e.m.PrefillChunkInto(sb.Batch(), cfg.SharedPrefix, cfg.PrefillChunk, cache)
+		e.pool.PutBatch(sb)
 		e.prefixCache = cache
 		e.usedPages = prefixPages
 		e.stats.PeakPages = prefixPages
@@ -323,9 +373,9 @@ func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Token, error) 
 		ctx = context.Background()
 	}
 	if req.Arrival < 0 {
-		// Stamp before taking the lock: the scheduler holds it across
-		// admission prefills, and that wait is queueing delay the TTFT
-		// must include, not hide.
+		// Stamp before enqueueing: time spent queued behind admission —
+		// batch slots, page budget, the loop's own iterations — is
+		// queueing delay the TTFT must include, not hide.
 		req.Arrival = e.now()
 	}
 	rs := &reqState{
@@ -464,9 +514,11 @@ func (e *Engine) loop() {
 }
 
 // admitLocked moves queued requests into the running set, policy-ordered,
-// while batch slots and prompt pages are available. Prefill runs with mu
-// held: admission is part of the scheduling iteration, and Submit only
-// appends. (Chunked prefill interleaving is future work.)
+// while batch slots and prompt pages are available. Admission only
+// allocates: it builds the request's cache (cold, or a copy-on-write clone
+// of the shared prefix) and reserves its prompt pages. No forward pass runs
+// under the lock — the prompt prefills chunk by chunk inside the iteration
+// loop, interleaved with running decodes (stepOnce).
 func (e *Engine) admitLocked() {
 	// Reap cancelled queued requests first: their streams must close even
 	// when admission is blocked on batch slots or pages.
@@ -509,33 +561,28 @@ func (e *Engine) admitLocked() {
 		if rs.start < 0 {
 			rs.start = e.now()
 		}
-		ws := e.pool.Get()
-		var sess *core.StepSession
 		var cache *kvcache.PagedKV
 		var err error
 		if pl > 0 {
 			// Prefix hit: start from a copy-on-write clone of the shared
-			// prefix and prefill only the tail — bit-identical to a cold
-			// prefill, minus the recompute.
+			// prefix; only the tail needs prefilling — bit-identical to a
+			// cold prefill, minus the recompute.
 			cache = e.prefixCache.ClonePrefix()
 			if err = cache.Reserve(len(prompt) - pl); err == nil {
-				sess, err = core.ResumeStepSession(e.m, ws, cache, pl, prompt[pl:])
 				e.stats.PrefixHits++
 				e.stats.PrefixTokensSaved += pl
 			}
 		} else {
 			cache = kvcache.NewPagedKVBudget(e.m.CacheShape(), e.cfg.PageTokens, e.cfg.KVPages)
-			if err = cache.Reserve(len(prompt)); err == nil {
-				sess, err = core.NewStepSession(e.m, ws, prompt, cache)
-			}
+			err = cache.Reserve(len(prompt))
 		}
-		e.pool.Put(ws)
 		if err != nil {
 			// Cannot happen for a validated request; retire defensively.
 			e.retireLocked(rs, false)
 			continue
 		}
-		rs.sess, rs.cache = sess, cache
+		rs.sess, rs.cache = nil, cache
+		rs.prompt, rs.prefilled = prompt, pl
 		rs.pages = need
 		rs.reserved = len(prompt)%e.cfg.PageTokens == 0
 		rs.load = float64(len(rs.req.Prompt) + rs.remaining())
@@ -584,7 +631,9 @@ func (e *Engine) preemptForStep() {
 	for {
 		needs := 0
 		for _, rs := range e.running {
-			if rs.sess.Pos()%e.cfg.PageTokens == 0 && !rs.reserved {
+			// Mid-prefill requests open no pages this step: their whole
+			// prompt was reserved at admission.
+			if rs.sess != nil && rs.sess.Pos()%e.cfg.PageTokens == 0 && !rs.reserved {
 				needs++
 			}
 		}
@@ -596,10 +645,18 @@ func (e *Engine) preemptForStep() {
 		e.running = append(e.running[:v], e.running[v+1:]...)
 		e.usedPages -= rs.pages
 		rs.pages = 0
+		// A victim caught mid-prefill recomputes from scratch on
+		// re-admission, exactly like a preempted decoder: the cache is
+		// dropped and admission rebuilds prompt+generated.
+		midPrefill := rs.sess == nil
 		rs.sess, rs.cache = nil, nil
+		rs.prompt, rs.prefilled = nil, 0
 		rs.preempts++
 		e.mu.Lock()
 		e.stats.Preemptions++
+		if midPrefill {
+			e.stats.PrefillPreempted++
+		}
 		e.runningLoad -= rs.load
 		rs.load = 0
 		e.queue = append(e.queue, rs)
@@ -651,13 +708,31 @@ func (e *Engine) reapCancelled() {
 	e.running = kept
 }
 
-// stepOnce decodes one token on every running session in parallel and
-// retires finishers.
+// stepOnce runs one scheduling iteration: every prefill-complete session
+// decodes one token, the oldest mid-prefill request advances one prompt
+// chunk in the same fused weight pass (core.StepMixedInto), and finishers
+// retire. A request whose final chunk lands this iteration becomes a decode
+// session for the next one — exactly the token stream an admission-time
+// full prefill would have produced, without ever stalling the running
+// batch for more than one chunk's step time.
 func (e *Engine) stepOnce() {
-	// Account pages the appends of this step will open (reserved
-	// first-step pages were charged at admission); preemptForStep
-	// already made room.
+	// Partition the running set: decode lanes step, and the first
+	// mid-prefill request in admission order contributes this iteration's
+	// chunk. Account pages the decode appends will open (reserved
+	// first-step pages were charged at admission); preemptForStep already
+	// made room. Prefill appends land in pages reserved at admission.
+	e.stepSessions = e.stepSessions[:0]
+	e.stepReqs = e.stepReqs[:0]
+	var pf *reqState
 	for _, rs := range e.running {
+		if rs.sess == nil {
+			if pf == nil {
+				pf = rs
+			}
+			continue
+		}
+		e.stepReqs = append(e.stepReqs, rs)
+		e.stepSessions = append(e.stepSessions, rs.sess)
 		if rs.sess.Pos()%e.cfg.PageTokens == 0 {
 			if rs.reserved {
 				rs.reserved = false
@@ -673,21 +748,41 @@ func (e *Engine) stepOnce() {
 		e.mu.Unlock()
 	}
 
-	e.stepSessions = e.stepSessions[:0]
-	for _, rs := range e.running {
-		e.stepSessions = append(e.stepSessions, rs.sess)
+	var chunk *core.PrefillChunk
+	if pf != nil {
+		n := len(pf.prompt) - pf.prefilled
+		if n > e.cfg.PrefillChunk {
+			n = e.cfg.PrefillChunk
+		}
+		e.chunk.Tokens = pf.prompt[pf.prefilled : pf.prefilled+n]
+		e.chunk.Cache = pf.cache
+		e.chunk.Final = pf.prefilled+n == len(pf.prompt)
+		chunk = &e.chunk
 	}
 	if cap(e.stepToks) < len(e.stepSessions) {
 		e.stepToks = make([]int, len(e.stepSessions))
 	}
 	toks := e.stepToks[:len(e.stepSessions)]
-	core.StepAllInto(e.pool, e.stepSessions, toks)
+	next := core.StepMixedInto(e.pool, e.stepSessions, toks, chunk)
+	if pf != nil {
+		pf.prefilled += len(e.chunk.Tokens)
+		if e.chunk.Final {
+			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, next)
+		}
+		e.chunk = core.PrefillChunk{} // drop the cache reference
+	}
 	now := e.now()
 
 	e.mu.Lock()
 	e.stats.Steps++
-	kept := e.running[:0]
-	for i, rs := range e.running {
+	if pf != nil {
+		e.stats.PrefillChunks++
+		if len(e.stepReqs) > 0 {
+			e.stats.MixedSteps++
+		}
+	}
+	retired := false
+	for i, rs := range e.stepReqs {
 		rs.generated = append(rs.generated, toks[i])
 		if rs.firstTok < 0 {
 			rs.firstTok = now
@@ -700,16 +795,29 @@ func (e *Engine) stepOnce() {
 			e.runningLoad -= rs.load
 			rs.load = 0
 			e.retireLocked(rs, true)
-			continue
+			rs.retired = true
+			retired = true
 		}
-		kept = append(kept, rs)
 	}
-	e.running = kept
+	if retired {
+		kept := e.running[:0]
+		for _, rs := range e.running {
+			if rs.retired {
+				rs.retired = false
+				continue
+			}
+			kept = append(kept, rs)
+		}
+		e.running = kept
+	}
 	e.mu.Unlock()
 	// Drop session references so a retired request's KV cache is not
 	// pinned by the reused scratch until the next iteration.
 	for i := range e.stepSessions {
 		e.stepSessions[i] = nil
+	}
+	for i := range e.stepReqs {
+		e.stepReqs[i] = nil
 	}
 }
 

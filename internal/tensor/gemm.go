@@ -241,6 +241,32 @@ func MatTMatTransColsInto(dst, xs [][]float32, m, mT *Matrix, c0, c1 int) {
 	}
 }
 
+// VecMatTransInto is VecMatInto given both m and its transpose mT
+// (mT = Transpose(m), built once for immutable weights) — the single-stream
+// backport of the batched plane's per-lane dispatch: a zero-free activation
+// vector takes the row-major four-row loop over mT (~1.5× faster per
+// multiply-accumulate than the column-major traversal, see the file
+// comment), and a vector containing an exact zero falls back to VecMatInto
+// so its zero-skip is reproduced. Output is bit-identical to
+// VecMatInto(dst, x, m) either way: transposing only changes the traversal,
+// not the per-output reduction order. It panics on shape mismatch.
+func VecMatTransInto(dst, x []float32, m, mT *Matrix) {
+	if mT.Rows != m.Cols || mT.Cols != m.Rows {
+		panic("tensor: vecmat transpose shape mismatch")
+	}
+	if len(x) != m.Rows {
+		panic("tensor: vecmat shape mismatch")
+	}
+	if len(dst) != m.Cols {
+		panic("tensor: vecmat dst length mismatch")
+	}
+	if hasZero(x) {
+		VecMatInto(dst, x, m)
+		return
+	}
+	matVecRows(dst, mT.Data, mT.Cols, x, 0, mT.Rows)
+}
+
 // matTMatSkipLane is the single-lane column-range kernel with VecMatInto's
 // zero-skip — the reference arithmetic the fast paths must match, and the
 // fallback for lanes whose activations contain exact zeros.

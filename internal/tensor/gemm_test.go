@@ -97,6 +97,48 @@ func TestMatTMatIntoMatchesVecMatInto(t *testing.T) {
 	}
 }
 
+// TestVecMatTransIntoMatchesVecMatInto pins the single-stream transposed
+// dispatch (the backport of the batched plane's per-lane fast path to
+// ForwardInto's projections) to VecMatInto bit-for-bit, on activations with
+// exact zeros (skip fallback) and strictly zero-free ones (row-major fast
+// path).
+func TestVecMatTransIntoMatchesVecMatInto(t *testing.T) {
+	for _, shape := range gemmShapes {
+		m := testMatrix(shape[0], shape[1], uint64(shape[0])*37)
+		mT := Transpose(m)
+		for variant, x := range map[string][]float32{
+			"with-zeros": lanes(1, shape[0], uint64(shape[1])*13+5)[0],
+			"zero-free":  lanes(1, shape[0], uint64(shape[1])*13+5)[0],
+		} {
+			if variant == "zero-free" {
+				x = append([]float32(nil), x...)
+				for j := range x {
+					if x[j] == 0 {
+						x[j] = 0.25
+					}
+				}
+			}
+			want := make([]float32, shape[1])
+			got := make([]float32, shape[1])
+			VecMatInto(want, x, m)
+			VecMatTransInto(got, x, m, mT)
+			for j := range want {
+				if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+					t.Fatalf("%s shape=%v col %d: %g != %g", variant, shape, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	// Contract panics: transpose shape must actually be the transpose.
+	m := testMatrix(8, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched transpose accepted")
+		}
+	}()
+	VecMatTransInto(make([]float32, 4), make([]float32, 8), m, m)
+}
+
 // TestMatTMatTransZeroFreeLanes drives the transposed fast path with
 // strictly zero-free activations (so the row-major loop, not the skip
 // fallback, is under test) and pins it to VecMatInto.

@@ -28,6 +28,7 @@ type config struct {
 	maxBatch     int
 	kvPages      int
 	pageTokens   int
+	prefillChunk int
 	schedPol     string
 	realEngine   bool
 	sharedPrefix []int
@@ -35,19 +36,20 @@ type config struct {
 
 func defaultConfig() config {
 	return config{
-		method:     "fp16",
-		model:      "llama-2-7b",
-		hardware:   "a6000",
-		engine:     "lmdeploy",
-		seed:       1,
-		tp:         1,
-		batchCap:   64,
-		maxNew:     32,
-		contSteps:  16,
-		maxBatch:   8,
-		kvPages:    0,
-		pageTokens: 16,
-		schedPol:   SchedFCFS,
+		method:       "fp16",
+		model:        "llama-2-7b",
+		hardware:     "a6000",
+		engine:       "lmdeploy",
+		seed:         1,
+		tp:           1,
+		batchCap:     64,
+		maxNew:       32,
+		contSteps:    16,
+		maxBatch:     8,
+		kvPages:      0,
+		pageTokens:   16,
+		prefillChunk: 32,
+		schedPol:     SchedFCFS,
 	}
 }
 
@@ -106,6 +108,16 @@ func WithKVPages(n int) Option { return func(c *config) { c.kvPages = n } }
 // WithPageTokens sets the KV page size in tokens for the server's paged
 // cache. Default: 16.
 func WithPageTokens(n int) Option { return func(c *config) { c.pageTokens = n } }
+
+// WithPrefillChunk sets how many prompt tokens the server prefills per
+// scheduling iteration. Prompts longer than the chunk are prefilled
+// incrementally, each chunk fused into the same weight pass as the running
+// decode batch, so a long arriving prompt delays running streams by one
+// chunk's step time instead of stalling them for its whole prefill.
+// Output is bit-identical for every chunk size. Smaller chunks bound the
+// running streams' inter-token gap tighter; larger chunks reach the long
+// prompt's first token sooner. Default: 32.
+func WithPrefillChunk(n int) Option { return func(c *config) { c.prefillChunk = n } }
 
 // WithSchedPolicy selects the server's admission/preemption policy by name
 // (see SchedPolicies()): SchedFCFS or SchedSJF. Default: SchedFCFS.

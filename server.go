@@ -45,8 +45,9 @@ type ServeRequest struct {
 
 // ServerStats is a snapshot of the scheduler's lifetime counters.
 type ServerStats struct {
-	// Steps counts decode iterations (every running request advances one
-	// token per step).
+	// Steps counts scheduling iterations (every prefill-complete request
+	// advances one token per step; an iteration may also, or only, carry
+	// a prefill chunk).
 	Steps int
 	// Admitted counts admissions, including re-admissions after
 	// preemption.
@@ -59,6 +60,13 @@ type ServerStats struct {
 	PeakRunning int
 	// PeakKVPages is the most KV pages simultaneously in use.
 	PeakKVPages int
+	// PrefillChunks counts prompt chunks advanced through the fused plane
+	// (see WithPrefillChunk); MixedSteps counts iterations that carried
+	// decode lanes and a prefill chunk in one fused weight pass;
+	// PrefillPreempted counts preemption victims caught mid-prefill.
+	PrefillChunks    int
+	MixedSteps       int
+	PrefillPreempted int
 	// PrefixHits counts admissions served from the WithSharedPrefix
 	// cache; PrefixTokensSaved totals the prefill tokens they skipped.
 	PrefixHits        int
@@ -80,7 +88,8 @@ type Server struct {
 
 // NewServer starts a continuous-batching server. Options: WithSeed,
 // WithMaxNewTokens, WithMaxBatch, WithKVPages, WithPageTokens,
-// WithSchedPolicy. Unknown policies return ErrUnknownPolicy. The server
+// WithPrefillChunk, WithSchedPolicy. Unknown policies return
+// ErrUnknownPolicy. The server
 // decodes full-precision paged KV (the fp16 data plane); close it with
 // Close when done.
 func NewServer(opts ...Option) (*Server, error) {
@@ -94,6 +103,8 @@ func NewServer(opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("%w: page tokens must be positive, got %d", ErrInvalidOption, cfg.pageTokens)
 	case cfg.kvPages < 0:
 		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
+	case cfg.prefillChunk <= 0:
+		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
 	}
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
@@ -109,6 +120,7 @@ func NewServer(opts ...Option) (*Server, error) {
 		PageTokens:   cfg.pageTokens,
 		KVPages:      cfg.kvPages,
 		MaxNew:       cfg.maxNew,
+		PrefillChunk: cfg.prefillChunk,
 		Policy:       cfg.schedPol,
 		SharedPrefix: cfg.sharedPrefix,
 	})
@@ -172,6 +184,9 @@ func (s *Server) Stats() ServerStats {
 		Cancelled:         st.Cancelled,
 		PeakRunning:       st.PeakRunning,
 		PeakKVPages:       st.PeakPages,
+		PrefillChunks:     st.PrefillChunks,
+		MixedSteps:        st.MixedSteps,
+		PrefillPreempted:  st.PrefillPreempted,
 		PrefixHits:        st.PrefixHits,
 		PrefixTokensSaved: st.PrefixTokensSaved,
 	}

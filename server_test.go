@@ -147,6 +147,76 @@ func TestServerPreemptionStaysExact(t *testing.T) {
 	}
 }
 
+// TestServerPrefillChunkBitIdentical pins the facade's chunked prefill: a
+// long prompt served under a small WithPrefillChunk must stream exactly
+// the tokens Pipeline.Generate produces, and the server must report the
+// chunked prefill actually ran.
+func TestServerPrefillChunkBitIdentical(t *testing.T) {
+	const maxNew = 8
+	long := make([]int, 90)
+	for i := range long {
+		long[i] = (i*19 + 2) % 512
+	}
+	prompts := [][]int{long, {5, 6, 7}, {400, 401}}
+
+	p, err := rethinkkv.New(rethinkkv.WithSeed(9), rethinkkv.WithMaxNewTokens(maxNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		stream, err := p.Generate(context.Background(), prompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tok := range stream {
+			want[i] = append(want[i], tok.ID)
+		}
+	}
+
+	srv, err := rethinkkv.NewServer(
+		rethinkkv.WithSeed(9),
+		rethinkkv.WithMaxNewTokens(maxNew),
+		rethinkkv.WithMaxBatch(3),
+		rethinkkv.WithPageTokens(8),
+		rethinkkv.WithPrefillChunk(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	chans := make([]<-chan rethinkkv.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		var got []int
+		for tok := range ch {
+			got = append(got, tok.ID)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(got), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[j] != want[i][j] {
+				t.Fatalf("request %d token %d: %d != pipeline %d", i, j, got[j], want[i][j])
+			}
+		}
+	}
+	st := srv.Stats()
+	if min := len(long) / 16; st.PrefillChunks < min {
+		t.Fatalf("PrefillChunks = %d, want >= %d", st.PrefillChunks, min)
+	}
+
+	if _, err := rethinkkv.NewServer(rethinkkv.WithPrefillChunk(-3)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("negative prefill chunk = %v, want ErrInvalidOption", err)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	if _, err := rethinkkv.NewServer(rethinkkv.WithSchedPolicy("lifo")); !errors.Is(err, rethinkkv.ErrUnknownPolicy) {
 		t.Fatalf("bad policy = %v, want ErrUnknownPolicy", err)
