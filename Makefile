@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race-sched bench bench-smoke bench-serve
+.PHONY: ci fmt vet build test race-sched fleet-smoke bench bench-smoke bench-serve
 
-ci: fmt vet build test race-sched bench-smoke
+ci: fmt vet build test race-sched fleet-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -17,13 +17,20 @@ build:
 test:
 	$(GO) test ./...
 
-# The continuous-batching scheduler and the fused batched step plane under
-# it (sched -> core.StepMixedInto -> model.ForwardMixedInto, whose sharded
-# GEMMs and chunk attention spawn goroutines at GOMAXPROCS>1) are the
-# concurrency-heavy packages; run them — including the interleaved
-# prefill+decode tests — under the race detector in CI.
+# The continuous-batching scheduler, the multi-engine fleet pool over it
+# (router placement, migration hook, per-flight forwarder goroutines), and
+# the fused batched step plane underneath (sched -> core.StepMixedInto ->
+# model.ForwardMixedInto, whose sharded GEMMs and chunk attention spawn
+# goroutines at GOMAXPROCS>1) are the concurrency-heavy packages; run them —
+# including the interleaved prefill+decode tests — under the race detector
+# in CI.
 race-sched:
-	$(GO) test -race ./internal/sched ./internal/core ./internal/model
+	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model
+
+# fleet-smoke runs a tiny end-to-end multi-engine serve through servebench:
+# 2 engines, baseline router, no rate sweep or long-prompt scenario.
+fleet-smoke:
+	$(GO) run ./cmd/servebench -rates "" -longprompt 0 -fleet 2 -routers baseline -fleetreqs 6 -maxnew 8 > /dev/null
 
 BENCH_PKGS = . ./internal/model ./internal/attention
 
@@ -43,10 +50,14 @@ bench-smoke:
 # timeshare).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
-	GOMAXPROCS=4 $(GO) run ./cmd/servebench
+	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4
 
 # bench-serve records the baseline at the machine's native GOMAXPROCS (the
 # numbers in BENCH_serve.json state the setting; `make bench` additionally
-# exercises the GOMAXPROCS>1 paths regardless of machine size).
+# exercises the GOMAXPROCS>1 paths regardless of machine size). -fleet 4
+# adds the fleet scenario: a 4-engine fleet A/B'd against one server per
+# router policy on a decode-heavy page-pressure workload (fleet_scenario in
+# the JSON; its own -fleetmaxnew 96 budget makes KV growth, not arrival
+# order, the binding constraint).
 bench-serve:
-	$(GO) run ./cmd/servebench -out BENCH_serve.json
+	$(GO) run ./cmd/servebench -fleet 4 -out BENCH_serve.json

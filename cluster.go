@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rethinkkv/internal/compress"
+	"rethinkkv/internal/fleet"
 	"rethinkkv/internal/gen"
 	"rethinkkv/internal/model"
 	"rethinkkv/internal/predictor"
@@ -28,6 +29,12 @@ type Request = workload.Request
 type Outcome = serving.Outcome
 
 // GPUView is the router-visible state of one GPU at routing time.
+//
+// The first block of fields is populated by every backend. The live block
+// below it is sampled from real continuous-batching engines only (Fleet,
+// and ServeTrace under WithRealEngine); the discrete-event simulator has no
+// paged cache or chunked prefill and leaves those fields zero, so custom
+// routers must treat PageBudget == 0 as "unbounded / unknown".
 type GPUView struct {
 	// ID is the GPU's position in the cluster.
 	ID int
@@ -39,6 +46,20 @@ type GPUView struct {
 	QueuedTokens float64
 	// Now is the decision timestamp, seconds.
 	Now float64
+
+	// Running is the engine's live running-set size (decoding plus
+	// mid-prefill requests).
+	Running int
+	// FreePages is the engine's unused KV page budget at decision time;
+	// -1 when the budget is unbounded. Meaningful only with PageBudget > 0.
+	FreePages int
+	// PageBudget is the engine's configured KV page budget (0 = unbounded)
+	// and PageTokens its page size in tokens.
+	PageBudget int
+	PageTokens int
+	// PrefillTokens counts admitted prompt tokens not yet prefilled — the
+	// engine's in-flight chunked-prefill debt ahead of any new arrival.
+	PrefillTokens int
 }
 
 // Wait returns the expected queueing delay before new work starts.
@@ -144,70 +165,71 @@ func (c *Cluster) ServeTrace(reqs []Request, r Router) ([]Outcome, error) {
 	return out, nil
 }
 
-// serveTraceReal replays the trace through one continuous-batching engine
-// per GPU. Arrivals are honoured in wall-clock time (the replay sleeps
-// until each request's ArrivalTime); prompts are synthesised
-// deterministically from the cluster seed at each request's PromptLen, and
-// responses are capped at WithMaxNewTokens so tiny-model replay stays
-// tractable. All engines decode the full-precision paged data plane; the
-// per-GPU method names still flow to the router, which sees live backlog
-// in its views.
+// serveTraceReal replays the trace through the fleet subsystem: one
+// continuous-batching engine per GPU behind the router, with live views and
+// (by default) cross-engine migration of preemption victims — the same pool
+// NewFleet serves live traffic with. Arrivals are honoured in wall-clock
+// time (the replay sleeps until each request's ArrivalTime); prompts are
+// synthesised deterministically from the cluster seed at each request's
+// PromptLen, and responses are capped at WithMaxNewTokens so tiny-model
+// replay stays tractable. All engines decode the full-precision paged data
+// plane; the per-GPU method names still flow to the router. A router that
+// returns an out-of-range index fails the replay with ErrBadRoute.
 func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
 	m := model.New(model.Tiny(), c.cfg.seed)
-	engines := make([]*sched.Engine, len(c.sim.GPUs))
-	// One shared clock origin for every engine and the replay itself, so
-	// arrivals and outcome timestamps are comparable across GPUs.
-	epoch := time.Now()
-	for i := range engines {
-		eng, err := sched.New(m, sched.Config{
-			MaxBatch:     c.cfg.maxBatch,
-			PageTokens:   c.cfg.pageTokens,
-			KVPages:      c.cfg.kvPages,
-			MaxNew:       c.cfg.maxNew,
-			PrefillChunk: c.cfg.prefillChunk,
-			Policy:       c.cfg.schedPol,
-			GPU:          i,
-			Epoch:        epoch,
-		})
-		if err != nil {
-			return nil, translateServeErr(err)
-		}
-		defer eng.Close()
-		engines[i] = eng
-	}
-
-	ordered := append([]Request(nil), reqs...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ArrivalTime < ordered[j].ArrivalTime })
 	vocab := m.Config().Vocab
 	maxPrompt := m.Config().MaxSeq - c.cfg.maxNew
 	if maxPrompt < 1 {
 		return nil, fmt.Errorf("%w: max new tokens %d leave no prompt room within the model's %d-token context",
 			ErrInvalidOption, c.cfg.maxNew, m.Config().MaxSeq)
 	}
+	inner := serving.Router(routerAdapter{r})
+	if nr, ok := r.(*namedRouter); ok {
+		// As on the simulator path: reject a policy trained for a different
+		// cluster, and skip the public-view round-trip for a matching one.
+		if nr.c != c {
+			return nil, fmt.Errorf("rethinkkv: router %q belongs to a different cluster", r.Name())
+		}
+		inner = nr.inner
+	}
+	methods := make([]compress.Method, len(c.sim.GPUs))
+	for i, g := range c.sim.GPUs {
+		methods[i] = g.Method
+	}
+	// One shared clock origin for every engine and the replay itself, so
+	// arrivals and outcome timestamps are comparable across GPUs.
+	epoch := time.Now()
+	pool, err := fleet.New(m, fleet.Config{
+		Engines: len(c.sim.GPUs),
+		Methods: methods,
+		Router:  inner,
+		Migrate: c.cfg.migrate,
+		Engine: sched.Config{
+			MaxBatch:     c.cfg.maxBatch,
+			PageTokens:   c.cfg.pageTokens,
+			KVPages:      c.cfg.kvPages,
+			MaxNew:       c.cfg.maxNew,
+			PrefillChunk: c.cfg.prefillChunk,
+			Policy:       c.cfg.schedPol,
+			Epoch:        epoch,
+		},
+	})
+	if err != nil {
+		return nil, translateServeErr(err)
+	}
+	defer pool.Close()
+
+	ordered := append([]Request(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ArrivalTime < ordered[j].ArrivalTime })
 	for _, req := range ordered {
 		if wait := req.ArrivalTime - time.Since(epoch).Seconds(); wait > 0 {
 			time.Sleep(time.Duration(wait * float64(time.Second)))
 		}
-		now := time.Since(epoch).Seconds()
-		views := make([]GPUView, len(engines))
-		for i, eng := range engines {
-			views[i] = GPUView{
-				ID:           i,
-				Method:       c.sim.GPUs[i].Method.Name,
-				FreeAt:       now,
-				QueuedTokens: eng.Backlog(),
-				Now:          now,
-			}
-		}
-		gi := r.Route(req, views)
-		if gi < 0 || gi >= len(engines) {
-			return nil, fmt.Errorf("rethinkkv: router %s returned invalid GPU %d", r.Name(), gi)
-		}
 		maxNew := stats.MinI(stats.MaxI(req.RefLen, 1), c.cfg.maxNew)
-		if _, err := engines[gi].Submit(context.Background(), sched.Request{
+		if _, err := pool.Submit(context.Background(), sched.Request{
 			ID:        req.ID,
 			Prompt:    tracePrompt(req, c.cfg.seed, vocab, maxPrompt),
 			MaxNew:    maxNew,
@@ -217,15 +239,10 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 			return nil, fmt.Errorf("request %d: %w", req.ID, translateServeErr(err))
 		}
 	}
-	var out []Outcome
-	for _, eng := range engines {
-		if err := eng.Drain(context.Background()); err != nil {
-			return nil, translateServeErr(err)
-		}
-		out = append(out, eng.Outcomes()...)
+	if err := pool.Drain(context.Background()); err != nil {
+		return nil, translateServeErr(err)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
-	return out, nil
+	return pool.Outcomes(), nil
 }
 
 // tracePrompt synthesises the deterministic token sequence standing in for
@@ -240,24 +257,35 @@ func tracePrompt(req Request, seed uint64, vocab, maxLen int) []int {
 	return prompt
 }
 
-// routerAdapter drives a public Router from the internal simulator.
+// routerAdapter drives a public Router from an internal backend (the
+// discrete-event simulator or the live fleet pool).
 type routerAdapter struct{ r Router }
 
 func (a routerAdapter) Name() string { return a.r.Name() }
 
 func (a routerAdapter) Route(req workload.Request, views []serving.GPUView) int {
+	return a.r.Route(req, publicViews(views))
+}
+
+// publicViews converts internal router views to their public form — the one
+// conversion point every backend that drives a public Router shares, so the
+// simulator's and the fleet's view vocabularies cannot drift.
+func publicViews(views []serving.GPUView) []GPUView {
 	pub := make([]GPUView, len(views))
 	for i, v := range views {
 		pub[i] = GPUView{
 			ID: v.ID, Method: v.Method.Name,
 			FreeAt: v.FreeAt, QueuedTokens: v.QueuedTokens, Now: v.Now,
+			Running: v.Running, FreePages: v.FreePages, PageBudget: v.PageBudget,
+			PageTokens: v.PageTokens, PrefillTokens: v.PrefillTokens,
 		}
 	}
-	return a.r.Route(req, pub)
+	return pub
 }
 
-// Router returns one of the paper's four routing policies by name
-// (see Routers()). Predictor-driven policies train a throughput and length
+// Router returns one of the paper's four routing policies — or the
+// live-only kv-pressure policy — by name (see Routers() and
+// FleetRouters()). Predictor-driven policies train a throughput and length
 // predictor per distinct cluster method on first use; the trained suite is
 // cached on the cluster.
 func (c *Cluster) Router(name string) (Router, error) {
@@ -270,6 +298,9 @@ func (c *Cluster) Router(name string) (Router, error) {
 		return &namedRouter{c: c, inner: router.WithLength{P: c.predictors()}}, nil
 	case RouterWithBoth:
 		return &namedRouter{c: c, inner: router.WithBoth{P: c.predictors()}}, nil
+	case RouterKVPressure:
+		p := c.predictors()
+		return &namedRouter{c: c, inner: router.KVPressure{P: &p}}, nil
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownRouter, name)
 }
@@ -321,6 +352,8 @@ func (r *namedRouter) Route(req Request, views []GPUView) int {
 	for i, v := range views {
 		iv[i] = serving.GPUView{
 			FreeAt: v.FreeAt, QueuedTokens: v.QueuedTokens, Now: v.Now, ID: v.ID,
+			Running: v.Running, FreePages: v.FreePages, PageBudget: v.PageBudget,
+			PageTokens: v.PageTokens, PrefillTokens: v.PrefillTokens,
 		}
 		if m, err := compress.Get(v.Method); err == nil {
 			iv[i].Method = m

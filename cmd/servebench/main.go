@@ -54,8 +54,39 @@ type report struct {
 	Description string              `json:"description"`
 	Machine     string              `json:"machine"`
 	Workload    workloadDesc        `json:"workload"`
-	Rates       []rateResult        `json:"rates"`
+	Rates       []rateResult        `json:"rates,omitempty"`
 	LongPrompt  *longPromptScenario `json:"long_prompt_scenario,omitempty"`
+	Fleet       *fleetScenario      `json:"fleet_scenario,omitempty"`
+}
+
+// fleetScenario A/Bs the multi-engine fleet against one Server holding a
+// single engine's KV budget, on a page-pressure workload: enough varied
+// concurrent prompts that the single server preempts and recomputes
+// constantly while the fleet's aggregate page capacity mostly avoids it.
+// Each configured router policy runs the identical workload, so policy
+// placement quality shows up directly in the TTFT percentiles.
+type fleetScenario struct {
+	Description      string     `json:"description"`
+	Engines          int        `json:"engines"`
+	Requests         int        `json:"requests"`
+	MaxNew           int        `json:"max_new"`
+	PerEngineKVPages int        `json:"per_engine_kv_pages"`
+	PageTokens       int        `json:"page_tokens"`
+	MaxBatch         int        `json:"max_batch"`
+	SingleServer     fleetRun   `json:"single_server"`
+	Policies         []fleetRun `json:"policies"`
+}
+
+type fleetRun struct {
+	Router          string  `json:"router,omitempty"`
+	TokensPerSec    float64 `json:"tokens_per_sec"`
+	TTFTP50Ms       float64 `json:"ttft_p50_ms"`
+	TTFTP99Ms       float64 `json:"ttft_p99_ms"`
+	MakespanS       float64 `json:"makespan_s"`
+	Preemptions     int     `json:"preemptions"`
+	Migrations      int     `json:"migrations,omitempty"`
+	Routed          []int   `json:"routed,omitempty"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
 }
 
 // longPromptScenario measures what chunked prefill exists for: a long
@@ -107,6 +138,11 @@ func main() {
 	rates := flag.String("rates", "0,25,100", "comma-separated arrival rates (rps; 0 = closed loop)")
 	longLen := flag.Int("longprompt", 512, "long-prompt scenario prompt length (0 disables the scenario)")
 	longChunks := flag.String("longchunks", "whole,64,16", "prefill chunk settings for the long-prompt scenario ('whole' = unchunked)")
+	fleetN := flag.Int("fleet", 0, "fleet scenario engine count (0 disables the scenario)")
+	fleetRouters := flag.String("routers", "baseline,w/both,w/length,kv-pressure", "router policies for the fleet scenario")
+	fleetReqs := flag.Int("fleetreqs", 16, "fleet scenario concurrent requests")
+	fleetPages := flag.Int("fleetpages", 24, "fleet scenario per-engine KV page budget")
+	fleetMaxNew := flag.Int("fleetmaxnew", 96, "fleet scenario decode budget per request (KV growth drives the page pressure)")
 	seed := flag.Uint64("seed", 7, "workload and weight seed")
 	out := flag.String("out", "", "write the JSON report to this file instead of stdout")
 	flag.Parse()
@@ -132,7 +168,11 @@ func main() {
 		},
 	}
 
-	for _, rateStr := range strings.Split(*rates, ",") {
+	rateSpecs := strings.Split(*rates, ",")
+	if strings.TrimSpace(*rates) == "" {
+		rateSpecs = nil // -rates "" skips the rate sweep (smoke runs)
+	}
+	for _, rateStr := range rateSpecs {
 		rps, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
 		if err != nil {
 			fatal(fmt.Errorf("bad rate %q: %w", rateStr, err))
@@ -175,6 +215,14 @@ func main() {
 			fatal(err)
 		}
 		rep.LongPrompt = sc
+	}
+
+	if *fleetN > 0 {
+		sc, err := runFleetScenario(*fleetN, *fleetRouters, *fleetReqs, *fleetMaxNew, *batch, *fleetPages, *pageTokens, *policy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fleet = sc
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -388,6 +436,120 @@ func runLongPromptScenario(decoders, longLen int, chunkSpec string, seed uint64)
 		sc.Runs = append(sc.Runs, r)
 		fmt.Fprintf(os.Stderr, "longprompt chunk=%-5s ttft %7.1fms   max decode gap %7.1fms   mixed steps %d\n",
 			spec, r.LongTTFTMs, r.MaxDecodeGapMs, r.MixedSteps)
+	}
+	return sc, nil
+}
+
+// runFleetScenario serves the same page-pressure workload through one
+// Server (one engine's budget) and then through an n-engine Fleet once per
+// router policy. Closed loop: every request arrives at t=0, so the
+// workload's total KV demand lands at once and the page budget — not the
+// arrival process — is the binding constraint.
+func runFleetScenario(engines int, routerSpec string, n, maxNew, batch, pages, pageTokens int, schedPolicy string, seed uint64) (*fleetScenario, error) {
+	const vocab = 512
+	prompts := make([][]int, n)
+	for i := range prompts {
+		// Short varied prompts (8..32 tokens) with a long decode budget:
+		// every request admits cheaply, then its KV footprint grows maxNew
+		// tokens during decode. The running set outgrows a single engine's
+		// page budget mid-flight, which is what forces the preempt-and-
+		// recompute churn the fleet's aggregate capacity avoids.
+		plen := 8 + int((uint64(i)*13+seed)%25)
+		prompts[i] = make([]int, plen)
+		for j := range prompts[i] {
+			prompts[i][j] = int((uint64(i*97+j)*2654435761 + seed) % vocab)
+		}
+	}
+	sc := &fleetScenario{
+		Description:      "N-engine fleet vs a single server with one engine's KV budget, same closed-loop varied-prompt workload. The single server's page budget forces constant preempt-and-recompute; the fleet's aggregate capacity (and cross-engine migration of victims) avoids the wasted recompute, which is the tokens/s gap. Policies place on live views: backlog, free KV pages, in-flight prefill. Streams are token-identical everywhere.",
+		Engines:          engines,
+		Requests:         n,
+		MaxNew:           maxNew,
+		PerEngineKVPages: pages,
+		PageTokens:       pageTokens,
+		MaxBatch:         batch,
+	}
+
+	srv, err := rethinkkv.NewServer(
+		rethinkkv.WithSeed(seed),
+		rethinkkv.WithMaxNewTokens(maxNew),
+		rethinkkv.WithMaxBatch(batch),
+		rethinkkv.WithKVPages(pages),
+		rethinkkv.WithPageTokens(pageTokens),
+		rethinkkv.WithSchedPolicy(schedPolicy),
+	)
+	if err != nil {
+		return nil, err
+	}
+	for _, prompt := range prompts {
+		if _, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt}); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	single := srv.Outcomes()
+	sst := srv.Stats()
+	srv.Close()
+	sc.SingleServer = fleetRun{
+		TokensPerSec: rethinkkv.TokensPerSec(single),
+		TTFTP50Ms:    1000 * rethinkkv.Percentile(rethinkkv.TTFTs(single), 50),
+		TTFTP99Ms:    1000 * rethinkkv.Percentile(rethinkkv.TTFTs(single), 99),
+		MakespanS:    rethinkkv.Makespan(single),
+		Preemptions:  sst.Preemptions,
+	}
+	fmt.Fprintf(os.Stderr, "fleet: single server %7.1f tok/s   ttft p50 %6.1fms   preemptions %d\n",
+		sc.SingleServer.TokensPerSec, sc.SingleServer.TTFTP50Ms, sc.SingleServer.Preemptions)
+
+	for _, name := range strings.Split(routerSpec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fl, err := rethinkkv.NewFleet(engines,
+			rethinkkv.WithSeed(seed),
+			rethinkkv.WithMaxNewTokens(maxNew),
+			rethinkkv.WithMaxBatch(batch),
+			rethinkkv.WithKVPages(pages),
+			rethinkkv.WithPageTokens(pageTokens),
+			rethinkkv.WithSchedPolicy(schedPolicy),
+			rethinkkv.WithRouter(name),
+		)
+		if err != nil {
+			return nil, err
+		}
+		for _, prompt := range prompts {
+			if _, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt}); err != nil {
+				fl.Close()
+				return nil, err
+			}
+		}
+		if err := fl.Drain(context.Background()); err != nil {
+			fl.Close()
+			return nil, err
+		}
+		outs := fl.Outcomes()
+		fst := fl.Stats()
+		fl.Close()
+		run := fleetRun{
+			Router:       name,
+			TokensPerSec: rethinkkv.TokensPerSec(outs),
+			TTFTP50Ms:    1000 * rethinkkv.Percentile(rethinkkv.TTFTs(outs), 50),
+			TTFTP99Ms:    1000 * rethinkkv.Percentile(rethinkkv.TTFTs(outs), 99),
+			MakespanS:    rethinkkv.Makespan(outs),
+			Preemptions:  fst.Preemptions(),
+			Migrations:   fst.Migrations,
+			Routed:       fst.Routed,
+		}
+		if sc.SingleServer.TokensPerSec > 0 {
+			run.SpeedupVsSingle = run.TokensPerSec / sc.SingleServer.TokensPerSec
+		}
+		sc.Policies = append(sc.Policies, run)
+		fmt.Fprintf(os.Stderr, "fleet: %-13s %7.1f tok/s (%.2fx)   ttft p50 %6.1fms p99 %6.1fms   preempt %d   migrations %d   routed %v\n",
+			name, run.TokensPerSec, run.SpeedupVsSingle, run.TTFTP50Ms, run.TTFTP99Ms, run.Preemptions, run.Migrations, run.Routed)
 	}
 	return sc, nil
 }

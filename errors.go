@@ -35,4 +35,12 @@ var (
 	// ErrServerClosed reports a Submit or Drain against a closed Server,
 	// or a Drain released because Close aborted in-flight requests.
 	ErrServerClosed = errors.New("rethinkkv: server closed")
+	// ErrEmptyFleet reports a fleet constructed with no engines.
+	ErrEmptyFleet = errors.New("rethinkkv: fleet needs at least one engine")
+	// ErrBadRoute reports a routing policy that returned an out-of-range
+	// engine index on the real-engine path (Fleet.Submit or
+	// Cluster.ServeTrace with WithRealEngine). The simulator's equivalent
+	// misroute is reported per-run by ServeTrace itself; this sentinel is
+	// the live path's fail-fast form.
+	ErrBadRoute = errors.New("rethinkkv: router returned an out-of-range GPU index")
 )

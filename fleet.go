@@ -1,0 +1,237 @@
+package rethinkkv
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/fleet"
+	"rethinkkv/internal/gen"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/predictor"
+	"rethinkkv/internal/router"
+	"rethinkkv/internal/sched"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+// Fleet is a multi-engine serving cluster over real continuous-batching
+// engines: N independent schedulers (each a full Server engine — paged KV,
+// chunked prefill, preemption) behind a live router that places every
+// submitted request on fresh per-engine views (backlog, running batch,
+// free KV pages, in-flight prefill debt, measured step time). It is the
+// live-traffic counterpart of the simulated Cluster and the multi-box
+// counterpart of Server: one Submit/Drain/Outcomes/Stats surface, three
+// backends, one Outcome metrics vocabulary.
+//
+// When an engine preempts a request under KV page pressure and another
+// engine has headroom for its whole remaining lifetime, the fleet migrates
+// it: the request's prompt plus already-emitted tokens re-admit on the
+// target, whose bit-identical recompute plane rebuilds the cache, so the
+// caller's stream is byte-identical to an unmigrated run — migration only
+// costs time, which the wall-clock Outcomes expose (see WithMigration).
+type Fleet struct {
+	cfg    config
+	pool   *fleet.Pool
+	name   string
+	nextID atomic.Int64
+}
+
+// FleetStats snapshots the fleet counters: per-engine scheduler stats plus
+// the routing/migration counters only the multi-engine layer has.
+type FleetStats struct {
+	// Engines holds each engine's ServerStats, fleet order.
+	Engines []ServerStats
+	// Routed counts router placements per engine; migration re-admissions
+	// are not router decisions and appear only in Migrations.
+	Routed []int
+	// Migrations counts completed cross-engine migrations.
+	Migrations int
+}
+
+// Preemptions sums evict-and-recompute events across engines.
+func (s FleetStats) Preemptions() int {
+	n := 0
+	for _, e := range s.Engines {
+		n += e.Preemptions
+	}
+	return n
+}
+
+// NewFleet starts n continuous-batching engines behind the routing policy
+// selected by WithRouter (default baseline; see FleetRouters()). Engine
+// sizing reuses the Server options — WithSeed, WithMaxNewTokens,
+// WithMaxBatch, WithKVPages, WithPageTokens, WithPrefillChunk,
+// WithSchedPolicy, WithSharedPrefix — applied to every engine; the page
+// budget is per engine, so a fleet holds n× the KV of one Server.
+// Cross-engine migration is on by default (WithMigration). Close the fleet
+// when done.
+func NewFleet(n int, opts ...Option) (*Fleet, error) {
+	if n <= 0 {
+		return nil, ErrEmptyFleet
+	}
+	cfg := buildConfig(opts)
+	switch {
+	case cfg.maxNew <= 0:
+		return nil, fmt.Errorf("%w: max new tokens must be positive, got %d", ErrInvalidOption, cfg.maxNew)
+	case cfg.maxBatch <= 0:
+		return nil, fmt.Errorf("%w: max batch must be positive, got %d", ErrInvalidOption, cfg.maxBatch)
+	case cfg.pageTokens <= 0:
+		return nil, fmt.Errorf("%w: page tokens must be positive, got %d", ErrInvalidOption, cfg.pageTokens)
+	case cfg.kvPages < 0:
+		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
+	case cfg.prefillChunk <= 0:
+		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	}
+	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
+	}
+	if len(cfg.sharedPrefix) > 0 {
+		if err := validatePrompt(cfg.sharedPrefix, model.Tiny().Vocab); err != nil {
+			return nil, fmt.Errorf("%w: shared prefix: %w", ErrInvalidOption, err)
+		}
+	}
+	r, err := fleetRouterFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(model.Tiny(), cfg.seed)
+	pool, err := fleet.New(m, fleet.Config{
+		Engines: n,
+		Router:  r,
+		Migrate: cfg.migrate,
+		Engine: sched.Config{
+			MaxBatch:     cfg.maxBatch,
+			PageTokens:   cfg.pageTokens,
+			KVPages:      cfg.kvPages,
+			MaxNew:       cfg.maxNew,
+			PrefillChunk: cfg.prefillChunk,
+			Policy:       cfg.schedPol,
+			SharedPrefix: cfg.sharedPrefix,
+		},
+	})
+	if err != nil {
+		return nil, translateServeErr(err)
+	}
+	return &Fleet{cfg: cfg, pool: pool, name: r.Name()}, nil
+}
+
+// fleetRouterFor resolves the configured policy name to a live router. The
+// predictor-driven policies train the fp16 throughput and length predictors
+// (the fleet's engines all decode the full-precision data plane) the same
+// way Cluster.Router does for its per-method suites.
+func fleetRouterFor(cfg config) (serving.Router, error) {
+	switch cfg.routerName {
+	case RouterBaseline:
+		return router.Baseline{}, nil
+	case RouterWithThroughput:
+		p, err := fleetPredictors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return router.WithThroughput{P: p}, nil
+	case RouterWithLength:
+		p, err := fleetPredictors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return router.WithLength{P: p}, nil
+	case RouterWithBoth:
+		p, err := fleetPredictors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return router.WithBoth{P: p}, nil
+	case RouterKVPressure:
+		p, err := fleetPredictors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return router.KVPressure{P: &p}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownRouter, cfg.routerName)
+}
+
+// fleetPredictors trains the fp16 predictor suite the policy consults,
+// mirroring Cluster.predictors (same salts, same training trace).
+func fleetPredictors(cfg config) (router.Predictors, error) {
+	est, err := newEstimator(cfg, "fp16")
+	if err != nil {
+		return router.Predictors{}, err
+	}
+	m := compress.MustGet("fp16")
+	lm := gen.Default()
+	salt := cfg.seed + 7
+	train := workload.SampleShareGPT(workload.DefaultShareGPT(2000), cfg.seed)
+	p := router.Predictors{
+		Thr:  map[string]*predictor.ThroughputPredictor{},
+		Len:  map[string]*predictor.LengthPredictor{},
+		Salt: salt,
+	}
+	p.Thr[m.Name] = predictor.TrainThroughput(est, predictor.DefaultGrid(), cfg.seed+2)
+	p.Len[m.Name] = predictor.TrainLength(train, lm.Run(train, m, cfg.seed+3), m, salt)
+	return p, nil
+}
+
+// Size returns the engine count.
+func (f *Fleet) Size() int { return f.pool.Size() }
+
+// RouterName returns the active routing policy's name.
+func (f *Fleet) RouterName() string { return f.name }
+
+// Vocab returns the served model's vocabulary size.
+func (f *Fleet) Vocab() int { return model.Tiny().Vocab }
+
+// Submit routes a request onto an engine and returns its token stream —
+// the same contract as Server.Submit. The router's placement runs on live
+// engine views sampled at this call; a policy that returns an out-of-range
+// engine index fails with ErrBadRoute. Migration hops, if any, are
+// invisible on the stream beyond their recompute delay.
+func (f *Fleet) Submit(ctx context.Context, req ServeRequest) (<-chan Token, error) {
+	if err := validatePrompt(req.Prompt, f.Vocab()); err != nil {
+		return nil, err
+	}
+	ch, err := f.pool.Submit(ctx, sched.Request{
+		ID:        int(f.nextID.Add(1)) - 1, // submission order, 0-based
+		Prompt:    req.Prompt,
+		MaxNew:    req.MaxNew,
+		Predicted: req.Predicted,
+		Arrival:   -1, // stamp at submit time
+	})
+	if err != nil {
+		return nil, translateServeErr(err)
+	}
+	return ch, nil
+}
+
+// Drain blocks until every request submitted so far has retired across the
+// whole fleet — including migration hops in flight — or ctx is cancelled.
+func (f *Fleet) Drain(ctx context.Context) error {
+	return translateServeErr(f.pool.Drain(ctx))
+}
+
+// Close shuts every engine down; in-flight streams close without
+// completing. Idempotent.
+func (f *Fleet) Close() { f.pool.Close() }
+
+// Outcomes returns the fleet-level per-request records, sorted by request
+// ID: wall-clock TTFT/TBOT/E2E as the client saw them (routing, queueing
+// and migration delays included), GPU = the engine that finished the
+// request, and Preemptions = cross-engine migration hops (engine-local
+// recompute preemptions stay in Stats).
+func (f *Fleet) Outcomes() []Outcome { return f.pool.Outcomes() }
+
+// Stats returns a snapshot of the fleet counters.
+func (f *Fleet) Stats() FleetStats {
+	st := f.pool.Stats()
+	out := FleetStats{
+		Engines:    make([]ServerStats, len(st.Engines)),
+		Routed:     st.Routed,
+		Migrations: st.Migrations,
+	}
+	for i, es := range st.Engines {
+		out.Engines[i] = serverStatsFrom(es)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package rethinkkv_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rethinkkv"
+)
+
+// The fleet must reproduce exactly what the plain pipeline decodes for the
+// same prompts, no matter how the router spreads them — the facade-level
+// equivalence acceptance test for the multi-engine path.
+func TestFleetMatchesPipelineGenerate(t *testing.T) {
+	const maxNew = 14
+	prompts := [][]int{
+		{1, 2, 3, 4, 5},
+		{100, 200, 300},
+		{7, 7, 7, 7, 7, 7, 7, 7},
+		{42},
+		{350, 351, 352, 353, 354, 355},
+		{9, 8, 7},
+	}
+
+	p, err := rethinkkv.New(rethinkkv.WithSeed(5), rethinkkv.WithMaxNewTokens(maxNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		out, _, err := p.Run(prompt, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	fl, err := rethinkkv.NewFleet(2,
+		rethinkkv.WithSeed(5),
+		rethinkkv.WithMaxNewTokens(maxNew),
+		rethinkkv.WithMaxBatch(3),
+		rethinkkv.WithPageTokens(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if fl.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", fl.Size())
+	}
+	if fl.RouterName() != rethinkkv.RouterBaseline {
+		t.Fatalf("RouterName = %q, want the default %q", fl.RouterName(), rethinkkv.RouterBaseline)
+	}
+
+	chans := make([]<-chan rethinkkv.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		var got, positions []int
+		for tok := range ch {
+			got = append(got, tok.ID)
+			positions = append(positions, tok.Pos)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(got), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[j] != want[i][j] {
+				t.Fatalf("request %d token %d: fleet %d != pipeline %d", i, j, got[j], want[i][j])
+			}
+			if positions[j] != len(prompts[i])+j {
+				t.Fatalf("request %d token %d: pos %d, want %d", i, j, positions[j], len(prompts[i])+j)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := fl.Stats()
+	completed, routed := 0, 0
+	for _, es := range st.Engines {
+		completed += es.Completed
+	}
+	for _, n := range st.Routed {
+		routed += n
+	}
+	if completed != len(prompts) || routed != len(prompts) {
+		t.Fatalf("completed %d / routed %d, want %d each", completed, routed, len(prompts))
+	}
+	if out := fl.Outcomes(); len(out) != len(prompts) {
+		t.Fatalf("%d outcomes, want %d", len(out), len(prompts))
+	}
+}
+
+// Every registered fleet policy must construct and serve.
+func TestFleetRoutersRegistry(t *testing.T) {
+	names := rethinkkv.FleetRouters()
+	if len(names) != len(rethinkkv.Routers())+1 {
+		t.Fatalf("FleetRouters = %v, want the paper's four plus kv-pressure", names)
+	}
+	for _, name := range names {
+		fl, err := rethinkkv.NewFleet(2,
+			rethinkkv.WithRouter(name),
+			rethinkkv.WithMaxNewTokens(4),
+		)
+		if err != nil {
+			t.Fatalf("router %q rejected: %v", name, err)
+		}
+		if fl.RouterName() != name {
+			t.Fatalf("RouterName = %q, want %q", fl.RouterName(), name)
+		}
+		ch, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: []int{3, 1, 4, 1, 5}})
+		if err != nil {
+			t.Fatalf("router %q submit: %v", name, err)
+		}
+		n := 0
+		for range ch {
+			n++
+		}
+		if n != 4 {
+			t.Fatalf("router %q streamed %d tokens, want 4", name, n)
+		}
+		fl.Close()
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	if _, err := rethinkkv.NewFleet(0); !errors.Is(err, rethinkkv.ErrEmptyFleet) {
+		t.Fatalf("zero engines = %v, want ErrEmptyFleet", err)
+	}
+	if _, err := rethinkkv.NewFleet(2, rethinkkv.WithRouter("round-robin")); !errors.Is(err, rethinkkv.ErrUnknownRouter) {
+		t.Fatalf("bad router = %v, want ErrUnknownRouter", err)
+	}
+	if _, err := rethinkkv.NewFleet(2, rethinkkv.WithMaxBatch(0)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("zero batch = %v, want ErrInvalidOption", err)
+	}
+	if _, err := rethinkkv.NewFleet(1, rethinkkv.WithSchedPolicy("lifo")); !errors.Is(err, rethinkkv.ErrUnknownPolicy) {
+		t.Fatalf("bad policy = %v, want ErrUnknownPolicy", err)
+	}
+
+	fl, err := rethinkkv.NewFleet(2, rethinkkv.WithMaxNewTokens(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{}); !errors.Is(err, rethinkkv.ErrEmptyPrompt) {
+		t.Fatalf("empty prompt = %v, want ErrEmptyPrompt", err)
+	}
+	if _, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: []int{99999}}); !errors.Is(err, rethinkkv.ErrInvalidToken) {
+		t.Fatalf("out-of-vocab = %v, want ErrInvalidToken", err)
+	}
+	fl.Close()
+	if _, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: []int{1}}); !errors.Is(err, rethinkkv.ErrServerClosed) {
+		t.Fatalf("submit after close = %v, want ErrServerClosed", err)
+	}
+}
+
+// badRouter steps outside the engine range on purpose.
+type badRouter struct{}
+
+func (badRouter) Name() string { return "bad" }
+func (badRouter) Route(req rethinkkv.Request, views []rethinkkv.GPUView) int {
+	return len(views) + 3
+}
+
+// Regression for the typed sentinel on the real-engine path: a custom
+// public router that misroutes must surface ErrBadRoute from ServeTrace,
+// not an untyped string.
+func TestServeTraceRealEngineBadRouteTyped(t *testing.T) {
+	cluster, err := rethinkkv.NewCluster([]string{"fp16", "fp16"},
+		rethinkkv.WithRealEngine(),
+		rethinkkv.WithMaxNewTokens(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []rethinkkv.Request{{ID: 0, PromptLen: 5, RefLen: 4}}
+	if _, err := cluster.ServeTrace(reqs, badRouter{}); !errors.Is(err, rethinkkv.ErrBadRoute) {
+		t.Fatalf("misrouting replay = %v, want ErrBadRoute", err)
+	}
+}
+
+// The rebased real-engine replay rides the fleet pool: with migration
+// enabled (the default) and per-GPU budgets, replay still completes with
+// exact per-request response lengths, and the custom-router path sees the
+// live view fields populated.
+type liveViewProbe struct {
+	sawLive bool
+}
+
+func (p *liveViewProbe) Name() string { return "probe" }
+func (p *liveViewProbe) Route(req rethinkkv.Request, views []rethinkkv.GPUView) int {
+	best := 0
+	for i, v := range views {
+		if v.PageBudget > 0 && v.FreePages >= 0 {
+			p.sawLive = true
+		}
+		if v.QueuedTokens < views[best].QueuedTokens {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestServeTraceRealEngineLiveViews(t *testing.T) {
+	cluster, err := rethinkkv.NewCluster([]string{"fp16", "fp16"},
+		rethinkkv.WithRealEngine(),
+		rethinkkv.WithSeed(3),
+		rethinkkv.WithMaxNewTokens(6),
+		rethinkkv.WithPageTokens(4),
+		rethinkkv.WithKVPages(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &liveViewProbe{}
+	reqs := make([]rethinkkv.Request, 6)
+	for i := range reqs {
+		reqs[i] = rethinkkv.Request{ID: i, PromptLen: 5 + i, RefLen: 6, ArrivalTime: 0}
+	}
+	out, err := cluster.ServeTrace(reqs, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(reqs) {
+		t.Fatalf("%d outcomes, want %d", len(out), len(reqs))
+	}
+	for i, o := range out {
+		if o.Req.ID != i || o.RespLen != 6 {
+			t.Fatalf("outcome %d = %+v, want ID %d RespLen 6", i, o, i)
+		}
+	}
+	if !probe.sawLive {
+		t.Fatal("custom router never saw live KV fields on the real-engine path")
+	}
+}

@@ -1,0 +1,512 @@
+// Package fleet is the multi-engine serving layer: N independent
+// continuous-batching engines (internal/sched) behind a live router, plus
+// cross-engine migration of preemption victims.
+//
+// Where internal/serving routes simulated requests over the analytical cost
+// model and a single sched.Engine serves one replica, a Pool serves live
+// traffic across replicas: every Submit samples a fresh serving.GPUView per
+// engine from real engine state (backlog tokens, running-batch size, free
+// KV pages, in-flight chunked-prefill debt, measured step time) and asks
+// the router to place the request. The same router policies that ran only
+// inside the discrete-event simulator therefore make their decisions on
+// wall-clock signals here — one Router contract, three backends.
+//
+// Migration uses the cheap path: when an engine preempts a request and
+// another engine has page headroom for its whole remaining lifetime, the
+// request is serialized as prompt + already-emitted tokens and re-admitted
+// there. The target rebuilds the KV cache through the engines' bit-identical
+// recompute plane, so a migrated stream is byte-identical to an unmigrated
+// one; migration only costs time, which the pool's wall-clock Outcomes
+// expose. The pool owns the caller-facing token stream: a per-request
+// forwarder goroutine splices the per-engine streams together and remaps
+// token positions, so callers never observe the hop.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rethinkkv/internal/compress"
+	"rethinkkv/internal/kvcache"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/sched"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+// ErrBadRoute reports a router that returned an engine index outside
+// [0, engines) — the live counterpart of the simulator's invalid-GPU error.
+var ErrBadRoute = errors.New("fleet: router returned an out-of-range engine index")
+
+// Config sizes a Pool.
+type Config struct {
+	// Engines is the replica count (>= 1).
+	Engines int
+	// Methods labels each engine's router-visible compression method
+	// (trace replay runs heterogeneous labels over the same fp16 data
+	// plane, exactly like the simulator). Empty entries and a short or nil
+	// slice default to fp16.
+	Methods []compress.Method
+	// Router places each submitted request; required.
+	Router serving.Router
+	// Migrate enables cross-engine re-admission of preemption victims.
+	// It only takes effect with Engines > 1 and a bounded page budget
+	// (unbounded engines never preempt).
+	Migrate bool
+	// Engine is the per-replica scheduler configuration. GPU, Epoch and
+	// Migrate are owned by the pool and overwritten.
+	Engine sched.Config
+}
+
+// Stats is a snapshot of pool-lifetime counters.
+type Stats struct {
+	// Engines holds each replica's scheduler counters, pool order.
+	Engines []sched.Stats
+	// Routed counts router placements per engine (migration hops are not
+	// router decisions and are counted separately).
+	Routed []int
+	// Migrations counts completed cross-engine re-admissions.
+	Migrations int
+}
+
+// flight is one request's pool-level lifecycle. The forwarder goroutine
+// owns every field except migrateTo, which the migration hook writes under
+// the pool lock.
+type flight struct {
+	key       int // engine-visible request id, unique per pool
+	id        int // caller's request id, stamped on the outcome
+	prompt    []int
+	maxNew    int
+	predicted int
+	arrival   float64
+	start     float64
+	firstTok  float64
+	ctx       context.Context
+	out       chan sched.Token
+	generated []int
+	engine    int // engine currently serving the request
+	hops      int // completed migrations
+	// migrateTo is the hook-chosen re-admission target, -1 when the next
+	// stream close means retirement rather than migration.
+	migrateTo int
+}
+
+// Pool runs N scheduling engines over one shared model behind a router.
+type Pool struct {
+	cfg     Config
+	engines []*sched.Engine
+	methods []compress.Method
+	epoch   time.Time
+
+	mu         sync.Mutex
+	flights    map[int]*flight
+	outcomes   []serving.Outcome
+	routed     []int
+	migrations int
+	nextKey    int
+	pending    int
+	waiters    []chan struct{}
+	closed     bool
+	aborted    bool
+	wg         sync.WaitGroup
+}
+
+// New starts a pool of cfg.Engines schedulers over the model (weights are
+// shared and immutable across engines). All engines share one clock epoch,
+// so views and outcomes are comparable across replicas.
+func New(m *model.Model, cfg Config) (*Pool, error) {
+	if cfg.Engines <= 0 {
+		return nil, fmt.Errorf("fleet: need at least one engine, got %d", cfg.Engines)
+	}
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("fleet: nil router")
+	}
+	epoch := cfg.Engine.Epoch
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	fp16, err := compress.Get("fp16")
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:     cfg,
+		methods: make([]compress.Method, cfg.Engines),
+		epoch:   epoch,
+		flights: map[int]*flight{},
+		routed:  make([]int, cfg.Engines),
+	}
+	for i := range p.methods {
+		if i < len(cfg.Methods) && cfg.Methods[i].Name != "" {
+			p.methods[i] = cfg.Methods[i]
+		} else {
+			p.methods[i] = fp16
+		}
+	}
+	for i := 0; i < cfg.Engines; i++ {
+		ecfg := cfg.Engine
+		ecfg.GPU = i
+		ecfg.Epoch = epoch
+		ecfg.Migrate = nil
+		if cfg.Migrate && cfg.Engines > 1 {
+			ecfg.Migrate = p.onPreempt
+		}
+		eng, err := sched.New(m, ecfg)
+		if err != nil {
+			for _, prev := range p.engines {
+				prev.Close()
+			}
+			return nil, err
+		}
+		p.engines = append(p.engines, eng)
+	}
+	return p, nil
+}
+
+// Size returns the engine count.
+func (p *Pool) Size() int { return len(p.engines) }
+
+// Engine returns replica i's scheduler (tests and stats plumbing).
+func (p *Pool) Engine(i int) *sched.Engine { return p.engines[i] }
+
+// now returns seconds since the pool epoch.
+func (p *Pool) now() float64 { return time.Since(p.epoch).Seconds() }
+
+// Views samples every engine's live state into router-visible GPU views.
+// FreeAt approximates the committed-work horizon from the backlog and the
+// engine's measured per-iteration step time, so wait-sensitive policies
+// (w/throughput, w/both) see a live queueing-delay estimate instead of the
+// simulator's analytical one.
+func (p *Pool) Views(now float64) []serving.GPUView {
+	out := make([]serving.GPUView, len(p.engines))
+	for i, e := range p.engines {
+		v := e.View()
+		gv := serving.GPUView{
+			ID:            i,
+			Method:        p.methods[i],
+			FreeAt:        now,
+			QueuedTokens:  v.BacklogTokens,
+			Now:           now,
+			Running:       v.Running,
+			FreePages:     v.FreePages(),
+			PageBudget:    v.PageBudget,
+			PageTokens:    v.PageTokens,
+			PrefillTokens: v.PrefillTokens,
+		}
+		if v.StepSeconds > 0 && v.BacklogTokens > 0 {
+			width := v.Running
+			if width < 1 {
+				width = 1
+			}
+			gv.FreeAt = now + v.BacklogTokens/float64(width)*v.StepSeconds
+		}
+		out[i] = gv
+	}
+	return out
+}
+
+// Submit routes a request onto an engine and returns its token stream. The
+// channel is buffered to the request's full budget and closes when the
+// request completes, ctx is cancelled, or the pool shuts down; cross-engine
+// migrations are invisible on it beyond the recompute delay. A router
+// return outside [0, Size()) fails with ErrBadRoute, mirroring the
+// simulator's treatment of invalid routes.
+func (p *Pool) Submit(ctx context.Context, req sched.Request) (<-chan sched.Token, error) {
+	if len(req.Prompt) == 0 {
+		return nil, fmt.Errorf("fleet: empty prompt")
+	}
+	if req.MaxNew <= 0 {
+		req.MaxNew = p.engines[0].Config().MaxNew
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := p.now()
+	if req.Arrival < 0 {
+		req.Arrival = now
+	}
+	pred := req.Predicted
+	if pred <= 0 {
+		pred = req.MaxNew
+	}
+	// The router sees the request in the same vocabulary the simulator and
+	// the predictors were trained on: lengths plus the predicted-response
+	// hint in RefLen.
+	gi := p.cfg.Router.Route(workload.Request{
+		ID: req.ID, PromptLen: len(req.Prompt), RefLen: pred, ArrivalTime: req.Arrival,
+	}, p.Views(now))
+	if gi < 0 || gi >= len(p.engines) {
+		return nil, fmt.Errorf("%w: router %s chose %d of %d engines",
+			ErrBadRoute, p.cfg.Router.Name(), gi, len(p.engines))
+	}
+
+	f := &flight{
+		id:        req.ID,
+		prompt:    req.Prompt,
+		maxNew:    req.MaxNew,
+		predicted: pred,
+		arrival:   req.Arrival,
+		start:     -1,
+		firstTok:  -1,
+		ctx:       ctx,
+		out:       make(chan sched.Token, req.MaxNew),
+		engine:    gi,
+		migrateTo: -1,
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, sched.ErrClosed
+	}
+	p.nextKey++
+	f.key = p.nextKey
+	p.flights[f.key] = f
+	p.routed[gi]++
+	p.pending++
+	p.mu.Unlock()
+
+	ch, err := p.engines[gi].Submit(ctx, sched.Request{
+		ID: f.key, Prompt: req.Prompt, MaxNew: req.MaxNew, Predicted: pred, Arrival: req.Arrival,
+	})
+	if err != nil {
+		p.mu.Lock()
+		delete(p.flights, f.key)
+		p.routed[gi]--
+		p.releaseLocked()
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.start = p.now()
+	p.wg.Add(1)
+	go p.run(f, ch)
+	return f.out, nil
+}
+
+// onPreempt is the sched.Config.Migrate hook: engine gpu just evicted req
+// under page pressure. Accept the handoff only when another engine has page
+// headroom for the request's entire remaining lifetime (prompt + emitted
+// tokens + remaining budget, plus the first-decode-step reserve) — anything
+// less and the target could immediately preempt it back, so a local
+// requeue-and-wait is at least as good. Called from the engine loop with no
+// engine lock held.
+func (p *Pool) onPreempt(gpu int, req sched.Request, generated int) bool {
+	p.mu.Lock()
+	f := p.flights[req.ID]
+	closed := p.closed
+	p.mu.Unlock()
+	if f == nil || closed {
+		return false
+	}
+	pageTokens := p.engines[gpu].Config().PageTokens
+	need := kvcache.PagesFor(len(req.Prompt)+req.MaxNew, pageTokens) + 1
+	best, bestFree := -1, 0
+	for i, e := range p.engines {
+		if i == gpu {
+			continue
+		}
+		v := e.View()
+		free := v.FreePages()
+		if free < 0 { // unbounded: always room
+			free = need + v.PageBudget + 1
+		}
+		if free >= need && free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.flights[req.ID] != f {
+		return false
+	}
+	f.migrateTo = best
+	return true
+}
+
+// run forwards one flight's engine stream to the caller, re-admitting the
+// request on the hook-chosen engine each time a stream closes with a
+// migration pending. Token positions are remapped to the caller's original
+// prompt, so continuation submissions (whose engine-side prompt includes
+// previously emitted tokens) are invisible.
+func (p *Pool) run(f *flight, ch <-chan sched.Token) {
+	defer p.wg.Done()
+	for {
+		for tok := range ch {
+			if f.firstTok < 0 {
+				f.firstTok = p.now()
+			}
+			f.generated = append(f.generated, tok.ID)
+			f.out <- sched.Token{ID: tok.ID, Pos: len(f.prompt) + len(f.generated) - 1}
+		}
+		p.mu.Lock()
+		target := f.migrateTo
+		f.migrateTo = -1
+		if target < 0 || p.closed || f.ctx.Err() != nil || len(f.generated) >= f.maxNew {
+			p.finishLocked(f)
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		// Serialize prompt + emitted tokens and re-admit; the target's
+		// chunked prefill rebuilds the KV cache bit-identically.
+		cont := make([]int, 0, len(f.prompt)+len(f.generated))
+		cont = append(cont, f.prompt...)
+		cont = append(cont, f.generated...)
+		rem := f.maxNew - len(f.generated)
+		predRem := f.predicted - len(f.generated)
+		if predRem < 1 {
+			predRem = 1
+		}
+		creq := sched.Request{ID: f.key, Prompt: cont, MaxNew: rem, Predicted: predRem, Arrival: f.arrival}
+		nch, err := p.engines[target].Submit(f.ctx, creq)
+		if err != nil {
+			// Headroom vanished between the hook and the re-admission;
+			// fall back to the engine that evicted us (its admission
+			// invariant guarantees the request still fits alone).
+			target = f.engine
+			nch, err = p.engines[target].Submit(f.ctx, creq)
+			if err != nil {
+				p.mu.Lock()
+				p.finishLocked(f)
+				p.mu.Unlock()
+				return
+			}
+		}
+		p.mu.Lock()
+		if target != f.engine {
+			p.migrations++
+			f.hops++
+		}
+		f.engine = target
+		p.mu.Unlock()
+		ch = nch
+	}
+}
+
+// finishLocked retires a flight: the caller-facing stream closes and the
+// pool records its wall-clock outcome (unless Close already threw the
+// request away, which flips the aborted flag drains report). Outcome
+// timing is the client's view — arrival at Submit, first token and finish
+// as forwarded — so routing, queueing and migration delays are all inside
+// TTFT/E2E; Preemptions counts cross-engine hops (engine-local recompute
+// preemptions stay in the per-engine Stats). The caller holds mu.
+func (p *Pool) finishLocked(f *flight) {
+	delete(p.flights, f.key)
+	close(f.out)
+	if p.closed && len(f.generated) < f.maxNew && f.ctx.Err() == nil {
+		p.aborted = true
+	} else {
+		now := p.now()
+		first := f.firstTok
+		if first < 0 {
+			first = now
+		}
+		start := f.start
+		if start < 0 {
+			start = now
+		}
+		p.outcomes = append(p.outcomes, serving.Outcome{
+			Req: workload.Request{
+				ID: f.id, PromptLen: len(f.prompt), RefLen: f.predicted, ArrivalTime: f.arrival,
+			},
+			GPU:         f.engine,
+			RespLen:     len(f.generated),
+			Start:       start,
+			FirstToken:  first,
+			Finish:      now,
+			Preemptions: f.hops,
+		})
+	}
+	p.releaseLocked()
+}
+
+// releaseLocked drops the pending count and releases drain waiters at zero.
+func (p *Pool) releaseLocked() {
+	p.pending--
+	if p.pending == 0 {
+		for _, w := range p.waiters {
+			close(w)
+		}
+		p.waiters = nil
+	}
+}
+
+// Drain blocks until every request submitted so far has retired at the
+// pool level — including any migration hops in flight — or ctx is
+// cancelled. A drain released because Close aborted in-flight requests
+// reports sched.ErrClosed, matching the engine contract.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return sched.ErrClosed
+	}
+	if p.pending == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{})
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	select {
+	case <-w:
+		p.mu.Lock()
+		aborted := p.aborted
+		p.mu.Unlock()
+		if aborted {
+			return sched.ErrClosed
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close shuts every engine down and waits for the forwarders to retire
+// their flights. In-flight streams close without completing. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if already {
+		return
+	}
+	for _, e := range p.engines {
+		e.Close()
+	}
+	p.wg.Wait()
+}
+
+// Outcomes returns the pool-level record of every retired request so far,
+// sorted by request ID — the same vocabulary the simulator and the
+// single-engine scheduler emit, measured against the shared pool epoch.
+func (p *Pool) Outcomes() []serving.Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]serving.Outcome(nil), p.outcomes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	return out
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	st := Stats{
+		Routed:     append([]int(nil), p.routed...),
+		Migrations: p.migrations,
+	}
+	p.mu.Unlock()
+	st.Engines = make([]sched.Stats, len(p.engines))
+	for i, e := range p.engines {
+		st.Engines[i] = e.Stats()
+	}
+	return st
+}

@@ -1,0 +1,397 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rethinkkv/internal/core"
+	"rethinkkv/internal/model"
+	"rethinkkv/internal/router"
+	"rethinkkv/internal/sched"
+	"rethinkkv/internal/serving"
+	"rethinkkv/internal/workload"
+)
+
+const seed = 11
+
+func testPrompts() [][]int {
+	return [][]int{
+		{1, 2, 3, 4, 5},
+		{100, 200, 300},
+		{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7},
+		{42},
+		{350, 351, 352, 353, 354, 355},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1},
+	}
+}
+
+// sequentialReference decodes every prompt one after another through the
+// plain pipeline — the ground truth any pool serve, migrated or not, must
+// reproduce bit-identically.
+func sequentialReference(t *testing.T, prompts [][]int, maxNew int) [][]int {
+	t.Helper()
+	p, err := core.NewPipeline("fp16", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		toks, _, err := p.Run(prompt, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+func collect(t *testing.T, ch <-chan sched.Token) []int {
+	t.Helper()
+	var out []int
+	for tok := range ch {
+		out = append(out, tok.ID)
+	}
+	return out
+}
+
+func newPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	m := model.New(model.Tiny(), seed)
+	p, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func drain(t *testing.T, p *Pool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func assertBitIdentical(t *testing.T, got, want [][]int, label string) {
+	t.Helper()
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s request %d: %d tokens, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s request %d token %d: %d != sequential %d", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// pinRouter sends every request to one fixed engine — the tool for forcing
+// KV pressure on a single replica while the rest of the pool idles.
+type pinRouter struct{ to int }
+
+func (p pinRouter) Name() string { return "pin" }
+func (p pinRouter) Route(workload.Request, []serving.GPUView) int {
+	return p.to
+}
+
+// TestFleetMatchesSequential is the pool's base acceptance gate: requests
+// routed across two unbudgeted engines stream token sequences bit-identical
+// to sequential single-pipeline decoding.
+func TestFleetMatchesSequential(t *testing.T) {
+	prompts := testPrompts()
+	const maxNew = 18
+	want := sequentialReference(t, prompts, maxNew)
+
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  router.Baseline{},
+		Engine:  sched.Config{MaxBatch: 3, PageTokens: 8},
+	})
+	chans := make([]<-chan sched.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := p.Submit(context.Background(), sched.Request{ID: i, Prompt: prompt, MaxNew: maxNew, Arrival: -1})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	got := make([][]int, len(prompts))
+	for i, ch := range chans {
+		got[i] = collect(t, ch)
+	}
+	drain(t, p)
+	assertBitIdentical(t, got, want, "fleet")
+
+	st := p.Stats()
+	completed, routed := 0, 0
+	for _, es := range st.Engines {
+		completed += es.Completed
+	}
+	for _, n := range st.Routed {
+		routed += n
+	}
+	if completed != len(prompts) {
+		t.Fatalf("Completed across engines = %d, want %d", completed, len(prompts))
+	}
+	if routed != len(prompts) {
+		t.Fatalf("Routed sums to %d, want %d", routed, len(prompts))
+	}
+	outs := p.Outcomes()
+	if len(outs) != len(prompts) {
+		t.Fatalf("Outcomes = %d, want %d", len(outs), len(prompts))
+	}
+	for i, o := range outs {
+		if o.Req.ID != i {
+			t.Fatalf("outcome %d has ID %d; not sorted by request ID", i, o.Req.ID)
+		}
+		if o.RespLen != maxNew {
+			t.Fatalf("outcome %d RespLen = %d, want %d", i, o.RespLen, maxNew)
+		}
+	}
+}
+
+// TestDecodeMigrationBitIdentical pins every request onto engine 0 with a
+// page budget known (from the sched preemption gate) to force evictions.
+// With an idle engine 1 holding the same budget, victims must migrate and
+// every stream — including the migrated ones — must stay bit-identical to
+// sequential decoding.
+func TestDecodeMigrationBitIdentical(t *testing.T) {
+	prompts := testPrompts()
+	const maxNew = 18
+	want := sequentialReference(t, prompts, maxNew)
+
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  pinRouter{to: 0},
+		Migrate: true,
+		Engine:  sched.Config{MaxBatch: 4, PageTokens: 4, KVPages: 14},
+	})
+	chans := make([]<-chan sched.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := p.Submit(context.Background(), sched.Request{ID: i, Prompt: prompt, MaxNew: maxNew, Arrival: -1})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	got := make([][]int, len(prompts))
+	for i, ch := range chans {
+		got[i] = collect(t, ch)
+	}
+	drain(t, p)
+	assertBitIdentical(t, got, want, "migrated")
+
+	st := p.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("budget never forced a migration; test is vacuous")
+	}
+	if st.Engines[0].MigratedOut == 0 {
+		t.Fatal("engine 0 reports no migrated-out victims")
+	}
+	if st.Routed[0] != len(prompts) || st.Routed[1] != 0 {
+		t.Fatalf("Routed = %v, want all %d on engine 0", st.Routed, len(prompts))
+	}
+	hops, onOther := 0, 0
+	for _, o := range p.Outcomes() {
+		hops += o.Preemptions
+		if o.GPU == 1 {
+			onOther++
+		}
+	}
+	if hops < st.Migrations {
+		t.Fatalf("outcome hops %d < pool migrations %d", hops, st.Migrations)
+	}
+	if onOther == 0 {
+		t.Fatal("no outcome finished on the migration target")
+	}
+}
+
+// TestMidPrefillMigrationBitIdentical forces the eviction to land in the
+// middle of a chunked prefill (the sched mid-prefill gate's shape, one page
+// looser so the victim's whole remaining lifetime fits the idle engine) and
+// checks the hop: the long request must re-prefill on engine 1 and still
+// stream bit-identically.
+func TestMidPrefillMigrationBitIdentical(t *testing.T) {
+	short := []int{1, 2}
+	long := make([]int, 30)
+	for i := range long {
+		long[i] = (i*11 + 5) % 512
+	}
+	prompts := [][]int{short, long}
+	maxNews := []int{10, 4}
+
+	pipe, err := core.NewPipeline("fp16", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		toks, _, err := pipe.Run(prompt, maxNews[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = toks
+	}
+
+	// Budget arithmetic (PageTokens=4, KVPages=10): the short request grows
+	// to 3 pages while the long prompt's 8-chunk prefill wants 8, so the
+	// budget overflows mid-prefill and FCFS evicts the newest arrival — the
+	// long request. Its lifetime need is PagesFor(30+4)+1 = 10 pages, which
+	// exactly fits the idle engine 1, so the hook migrates it.
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  pinRouter{to: 0},
+		Migrate: true,
+		Engine:  sched.Config{MaxBatch: 2, PageTokens: 4, KVPages: 10, PrefillChunk: 4},
+	})
+	chans := make([]<-chan sched.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := p.Submit(context.Background(), sched.Request{ID: i, Prompt: prompt, MaxNew: maxNews[i], Arrival: -1})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	got := make([][]int, len(prompts))
+	for i, ch := range chans {
+		got[i] = collect(t, ch)
+	}
+	drain(t, p)
+	assertBitIdentical(t, got, want, "mid-prefill migrated")
+
+	st := p.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("budget never forced a migration; test is vacuous")
+	}
+	if st.Engines[0].PrefillPreempted == 0 {
+		t.Fatal("no eviction landed mid-prefill; test is vacuous")
+	}
+	outs := p.Outcomes()
+	if outs[1].GPU != 1 {
+		t.Fatalf("long request finished on engine %d, want the migration target 1", outs[1].GPU)
+	}
+	if outs[1].Preemptions == 0 {
+		t.Fatal("long request's outcome records no migration hop")
+	}
+}
+
+// TestBadRouteTyped pins the typed sentinel: a router stepping outside
+// [0, engines) must fail Submit with ErrBadRoute.
+func TestBadRouteTyped(t *testing.T) {
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  pinRouter{to: 2},
+		Engine:  sched.Config{},
+	})
+	_, err := p.Submit(context.Background(), sched.Request{ID: 0, Prompt: []int{1, 2, 3}, MaxNew: 4})
+	if !errors.Is(err, ErrBadRoute) {
+		t.Fatalf("err = %v, want ErrBadRoute", err)
+	}
+	if p.Stats().Routed[0] != 0 {
+		t.Fatal("misrouted request was counted as placed")
+	}
+}
+
+// TestClosedPoolSemantics mirrors the engine contract: Submit and Drain
+// against a closed pool fail with sched.ErrClosed.
+func TestClosedPoolSemantics(t *testing.T) {
+	p := newPool(t, Config{Engines: 1, Router: router.Baseline{}, Engine: sched.Config{}})
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Submit(context.Background(), sched.Request{Prompt: []int{1}}); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if err := p.Drain(context.Background()); !errors.Is(err, sched.ErrClosed) {
+		t.Fatalf("drain after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestViewsSampleLiveState checks the router-visible views against real
+// engine state: a fresh bounded pool advertises its full page budget, and a
+// submitted request shows up in its target's backlog while the other engine
+// stays empty.
+func TestViewsSampleLiveState(t *testing.T) {
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  pinRouter{to: 0},
+		Engine:  sched.Config{PageTokens: 4, KVPages: 20},
+	})
+	for i, v := range p.Views(0) {
+		if v.PageBudget != 20 || v.PageTokens != 4 {
+			t.Fatalf("view %d budget %d/%d, want 20/4", i, v.PageBudget, v.PageTokens)
+		}
+		if v.FreePages != 20 {
+			t.Fatalf("fresh view %d FreePages = %d, want 20", i, v.FreePages)
+		}
+	}
+	ch, err := p.Submit(context.Background(), sched.Request{ID: 0, Prompt: []int{5, 6, 7}, MaxNew: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := p.Views(p.now())
+	if views[0].QueuedTokens == 0 {
+		t.Fatal("engine 0 backlog invisible after submit")
+	}
+	if views[1].QueuedTokens != 0 || views[1].Running != 0 {
+		t.Fatalf("idle engine 1 shows load: %+v", views[1])
+	}
+	for range ch {
+	}
+	drain(t, p)
+	final := p.Views(p.now())
+	if final[0].FreePages != 20 {
+		t.Fatalf("drained view FreePages = %d, want 20 (pages leaked)", final[0].FreePages)
+	}
+}
+
+// TestConcurrentSubmitStress drives the pool from many goroutines under a
+// tight budget (migrations included) — primarily a data-race canary for
+// `go test -race ./internal/fleet`.
+func TestConcurrentSubmitStress(t *testing.T) {
+	prompts := testPrompts()
+	const maxNew = 8
+	want := sequentialReference(t, prompts, maxNew)
+
+	p := newPool(t, Config{
+		Engines: 3,
+		Router:  router.Baseline{},
+		Migrate: true,
+		Engine:  sched.Config{MaxBatch: 3, PageTokens: 4, KVPages: 12},
+	})
+	const rounds = 3
+	got := make([][][]int, rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		got[r] = make([][]int, len(prompts))
+		for i, prompt := range prompts {
+			wg.Add(1)
+			go func(r, i int, prompt []int) {
+				defer wg.Done()
+				ch, err := p.Submit(context.Background(), sched.Request{
+					ID: r*len(prompts) + i, Prompt: prompt, MaxNew: maxNew, Arrival: -1,
+				})
+				if err != nil {
+					t.Errorf("submit %d/%d: %v", r, i, err)
+					return
+				}
+				for tok := range ch {
+					got[r][i] = append(got[r][i], tok.ID)
+				}
+			}(r, i, prompt)
+		}
+	}
+	wg.Wait()
+	drain(t, p)
+	for r := 0; r < rounds; r++ {
+		assertBitIdentical(t, got[r], want, "stress")
+	}
+	if len(p.Outcomes()) != rounds*len(prompts) {
+		t.Fatalf("outcomes %d, want %d", len(p.Outcomes()), rounds*len(prompts))
+	}
+}

@@ -124,6 +124,50 @@ func (r WithBoth) Route(req workload.Request, views []serving.GPUView) int {
 	return best
 }
 
+// KVPressure routes on live KV-cache headroom — a policy only a real
+// multi-engine backend can drive, since the discrete-event simulator has no
+// paged cache. The engine's cost for a request is its backlog plus its
+// in-flight chunked-prefill debt; on top of that, an engine whose free page
+// budget cannot hold the request's predicted KV demand (prompt + predicted
+// response) pays a heavy shortfall penalty, because admitting the request
+// there risks preemption and bit-identical-but-wasted recompute. Views with
+// PageBudget == 0 (unbounded or simulated) skip the penalty, degrading the
+// policy to backlog+prefill load balancing.
+type KVPressure struct {
+	// P optionally refines the demand estimate with the per-method length
+	// predictor; nil falls back to the request's reference length.
+	P *Predictors
+}
+
+// Name implements serving.Router.
+func (KVPressure) Name() string { return "kv-pressure" }
+
+// Route implements serving.Router.
+func (r KVPressure) Route(req workload.Request, views []serving.GPUView) int {
+	best, bestCost := 0, math.Inf(1)
+	for i, v := range views {
+		demand := float64(req.PromptLen + req.RefLen)
+		if r.P != nil {
+			if lp := r.P.Len[v.Method.Name]; lp != nil {
+				demand = float64(req.PromptLen) + lp.PredictLen(req, v.Method, r.P.Salt)
+			}
+		}
+		cost := v.QueuedTokens + float64(v.PrefillTokens)
+		if v.PageBudget > 0 && v.FreePages >= 0 {
+			if short := demand - float64(v.FreePages*v.PageTokens); short > 0 {
+				// The shortfall weight trades pages against queueing: 8
+				// backlog tokens per missing resident token makes a
+				// fitting engine win over all but pathological queues.
+				cost += 8 * short
+			}
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
 // expectedResp is the policy-side coarse response estimate when no length
 // predictor is attached: the reference length shifted by mean severity.
 func expectedResp(req workload.Request, m compress.Method) int {

@@ -91,6 +91,18 @@ type Config struct {
 	// replay passes one shared epoch so outcomes from different engines
 	// are comparable; zero means "engine construction time".
 	Epoch time.Time
+	// Migrate, when non-nil, is consulted for every preemption victim
+	// before it is requeued locally. Returning true hands the victim off to
+	// the caller (the fleet layer): the engine retires it immediately —
+	// pages already released, token channel closed, no outcome recorded,
+	// Stats.MigratedOut incremented — and the callee is responsible for
+	// re-admitting the serialized request (its prompt plus the tokens it
+	// already emitted, all of which were sent on the channel before the
+	// hook ran) on another engine. The hook is called from the scheduling
+	// loop with no engine lock held, so it may inspect this or other
+	// engines' View/Backlog, but it must not block on this engine's own
+	// progress (e.g. by draining it).
+	Migrate func(gpu int, req Request, generated int) bool
 	// SharedPrefix, when non-empty, is prefilled once at engine start and
 	// reused for every request whose prompt strictly extends it: the
 	// request's cache starts as a copy-on-write page clone of the prefix
@@ -168,6 +180,44 @@ type Stats struct {
 	// PrefixTokensSaved totals the prefill tokens those hits skipped.
 	PrefixHits        int
 	PrefixTokensSaved int
+	// MigratedOut counts preemption victims handed off through the
+	// Config.Migrate hook instead of being requeued locally.
+	MigratedOut int
+}
+
+// View is a point-in-time snapshot of the engine's router-visible state —
+// the live signals a multi-engine placement policy routes on. Loop-private
+// fields (running set, page usage, prefill debt) are mirrored at the end of
+// every scheduling action, so a view is at most one iteration stale.
+type View struct {
+	// Queued counts requests waiting for admission; Running counts the
+	// running set (decoding plus mid-prefill).
+	Queued  int
+	Running int
+	// BacklogTokens is the queued-plus-running token load (prompt +
+	// predicted remaining at admission) — the same signal Backlog returns.
+	BacklogTokens float64
+	// UsedPages is the KV pages currently charged against the budget;
+	// PageBudget is the configured budget (0 = unbounded) and PageTokens
+	// the page size.
+	UsedPages  int
+	PageBudget int
+	PageTokens int
+	// PrefillTokens counts admitted prompt tokens not yet prefilled — the
+	// chunked-prefill debt queued ahead of any new arrival's own prefill.
+	PrefillTokens int
+	// StepSeconds is an exponential moving average of recent scheduling-
+	// iteration wall time (0 until the first step) — a live per-engine
+	// cost signal no analytical model supplies.
+	StepSeconds float64
+}
+
+// FreePages returns the unused page budget, or -1 when unbounded.
+func (v View) FreePages() int {
+	if v.PageBudget == 0 {
+		return -1
+	}
+	return v.PageBudget - v.UsedPages
 }
 
 // reqState is one request's lifecycle state, owned by the engine loop
@@ -260,8 +310,15 @@ type Engine struct {
 	// its own contribution in load so removal subtracts exactly what
 	// admission added.
 	runningLoad float64
-	waiters     []chan struct{}
-	closed      bool
+	// viewRunning/viewUsedPages/viewPrefill/viewStep mirror loop-private
+	// state for View(), refreshed via syncViewLocked after every scheduling
+	// action that changes them.
+	viewRunning   int
+	viewUsedPages int
+	viewPrefill   int
+	viewStep      float64
+	waiters       []chan struct{}
+	closed        bool
 	// aborted records that Close threw away pending requests: drains
 	// released by that path report ErrClosed, not success.
 	aborted bool
@@ -305,6 +362,7 @@ func New(m *model.Model, cfg Config) (*Engine, error) {
 		e.pool.PutBatch(sb)
 		e.prefixCache = cache
 		e.usedPages = prefixPages
+		e.viewUsedPages = prefixPages
 		e.stats.PeakPages = prefixPages
 	}
 	go e.loop()
@@ -474,15 +532,42 @@ func (e *Engine) Stats() Stats {
 
 // Backlog returns the queued-plus-running token load (prompt + predicted
 // remaining at admission), the router-visible pressure signal multi-engine
-// trace replay feeds into GPUView.QueuedTokens.
-func (e *Engine) Backlog() float64 {
+// serving feeds into GPUView.QueuedTokens.
+func (e *Engine) Backlog() float64 { return e.View().BacklogTokens }
+
+// View returns a point-in-time snapshot of the engine's router-visible
+// state. Safe for concurrent use; loop-mirrored fields are at most one
+// scheduling iteration stale.
+func (e *Engine) View() View {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	b := e.runningLoad
-	for _, rs := range e.queue {
-		b += float64(len(rs.req.Prompt) + rs.remaining())
+	v := View{
+		Queued:        len(e.queue),
+		Running:       e.viewRunning,
+		BacklogTokens: e.runningLoad,
+		UsedPages:     e.viewUsedPages,
+		PageBudget:    e.cfg.KVPages,
+		PageTokens:    e.cfg.PageTokens,
+		PrefillTokens: e.viewPrefill,
+		StepSeconds:   e.viewStep,
 	}
-	return b
+	for _, rs := range e.queue {
+		v.BacklogTokens += float64(len(rs.req.Prompt) + rs.remaining())
+	}
+	return v
+}
+
+// syncViewLocked refreshes the View mirrors from loop-private state. The
+// caller holds mu; the running set is at most MaxBatch entries, so the walk
+// is cheap enough to run after every scheduling action.
+func (e *Engine) syncViewLocked() {
+	pf := 0
+	for _, rs := range e.running {
+		pf += len(rs.prompt) - rs.prefilled
+	}
+	e.viewPrefill = pf
+	e.viewRunning = len(e.running)
+	e.viewUsedPages = e.usedPages
 }
 
 // loop is the scheduler: admit, form the iteration batch, preempt under
@@ -554,7 +639,7 @@ func (e *Engine) admitLocked() {
 			need++
 		}
 		if e.cfg.KVPages > 0 && e.usedPages+need > e.cfg.KVPages {
-			return // head request waits for pages; keep order
+			break // head request waits for pages; keep order
 		}
 		e.queue = append(e.queue[:i], e.queue[i+1:]...)
 
@@ -597,6 +682,7 @@ func (e *Engine) admitLocked() {
 			e.stats.PeakPages = e.usedPages
 		}
 	}
+	e.syncViewLocked()
 }
 
 // pickLocked returns the queue index to admit next under the policy.
@@ -652,6 +738,11 @@ func (e *Engine) preemptForStep() {
 		rs.sess, rs.cache = nil, nil
 		rs.prompt, rs.prefilled = nil, 0
 		rs.preempts++
+		// Offer the victim to the migration hook before requeueing it
+		// locally: the fleet layer may re-admit it on a less loaded engine
+		// instead (every emitted token is already in the buffered channel,
+		// so the handoff serializes for free).
+		migrated := e.cfg.Migrate != nil && e.cfg.Migrate(e.cfg.GPU, rs.req, len(rs.generated))
 		e.mu.Lock()
 		e.stats.Preemptions++
 		if midPrefill {
@@ -659,7 +750,13 @@ func (e *Engine) preemptForStep() {
 		}
 		e.runningLoad -= rs.load
 		rs.load = 0
-		e.queue = append(e.queue, rs)
+		if migrated {
+			e.stats.MigratedOut++
+			e.retireMigratedLocked(rs)
+		} else {
+			e.queue = append(e.queue, rs)
+		}
+		e.syncViewLocked()
 		e.mu.Unlock()
 	}
 }
@@ -691,6 +788,7 @@ func (e *Engine) victim() int {
 // spending another step on them.
 func (e *Engine) reapCancelled() {
 	kept := e.running[:0]
+	reaped := false
 	for _, rs := range e.running {
 		if rs.ctx.Err() != nil {
 			e.usedPages -= rs.pages
@@ -701,11 +799,17 @@ func (e *Engine) reapCancelled() {
 			rs.load = 0
 			e.retireLocked(rs, false)
 			e.mu.Unlock()
+			reaped = true
 			continue
 		}
 		kept = append(kept, rs)
 	}
 	e.running = kept
+	if reaped {
+		e.mu.Lock()
+		e.syncViewLocked()
+		e.mu.Unlock()
+	}
 }
 
 // stepOnce runs one scheduling iteration: every prefill-complete session
@@ -716,6 +820,7 @@ func (e *Engine) reapCancelled() {
 // full prefill would have produced, without ever stalling the running
 // batch for more than one chunk's step time.
 func (e *Engine) stepOnce() {
+	stepStart := time.Now()
 	// Partition the running set: decode lanes step, and the first
 	// mid-prefill request in admission order contributes this iteration's
 	// chunk. Account pages the decode appends will open (reserved
@@ -810,6 +915,14 @@ func (e *Engine) stepOnce() {
 		}
 		e.running = kept
 	}
+	// Fold this iteration's wall time into the live step-cost EWMA the
+	// fleet's view sampler exposes (View.StepSeconds).
+	if dur := time.Since(stepStart).Seconds(); e.viewStep == 0 {
+		e.viewStep = dur
+	} else {
+		e.viewStep = 0.8*e.viewStep + 0.2*dur
+	}
+	e.syncViewLocked()
 	e.mu.Unlock()
 	// Drop session references so a retired request's KV cache is not
 	// pinned by the reused scratch until the next iteration.
@@ -865,6 +978,26 @@ func (e *Engine) retireLocked(rs *reqState, completed bool) {
 	}
 }
 
+// retireMigratedLocked retires a preemption victim the Migrate hook
+// accepted: its stream closes (the migration layer resubmits the serialized
+// request elsewhere and keeps the caller-facing stream open), no outcome is
+// recorded here — the migration layer owns the request's end-to-end record
+// — and the drain count drops. The caller holds mu and has already released
+// the victim's pages and load.
+func (e *Engine) retireMigratedLocked(rs *reqState) {
+	if rs.stopWatch != nil {
+		rs.stopWatch()
+	}
+	close(rs.ch)
+	e.pending--
+	if e.pending == 0 {
+		for _, w := range e.waiters {
+			close(w)
+		}
+		e.waiters = nil
+	}
+}
+
 // failLocked aborts everything at Close: streams close, no outcomes are
 // recorded for unfinished work, and drain waiters are released (reporting
 // ErrClosed via the aborted flag when work was thrown away).
@@ -894,6 +1027,7 @@ func (e *Engine) failLocked() {
 		e.usedPages = kvcache.PagesFor(len(e.cfg.SharedPrefix), e.cfg.PageTokens)
 	}
 	e.runningLoad = 0
+	e.syncViewLocked()
 	for _, w := range e.waiters {
 		close(w)
 	}

@@ -16,6 +16,12 @@ import (
 // backend-agnostic: plain data in, derived metrics out.
 
 // GPUView is the router-visible state of one GPU at decision time.
+//
+// The first block of fields is populated by both backends; the live block
+// below it comes from real continuous-batching engines only (the
+// discrete-event simulator has no paged cache or chunked prefill, so it
+// leaves those fields zero). Policies that consult the live block must
+// treat PageBudget == 0 as "unbounded / unknown".
 type GPUView struct {
 	ID     int
 	Method compress.Method
@@ -26,6 +32,20 @@ type GPUView struct {
 	QueuedTokens float64
 	// Now is the decision timestamp.
 	Now float64
+
+	// Running is the engine's live running-set size (decoding plus
+	// mid-prefill requests).
+	Running int
+	// FreePages is the engine's unused KV page budget at decision time;
+	// -1 when the budget is unbounded. Meaningful only with PageBudget > 0.
+	FreePages int
+	// PageBudget is the engine's configured KV page budget (0 = unbounded)
+	// and PageTokens its page size in tokens.
+	PageBudget int
+	PageTokens int
+	// PrefillTokens counts admitted prompt tokens not yet prefilled — the
+	// in-flight chunked-prefill debt ahead of any new arrival.
+	PrefillTokens int
 }
 
 // Wait returns the expected queueing delay before new work starts.

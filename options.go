@@ -32,6 +32,8 @@ type config struct {
 	schedPol     string
 	realEngine   bool
 	sharedPrefix []int
+	routerName   string
+	migrate      bool
 }
 
 func defaultConfig() config {
@@ -50,6 +52,8 @@ func defaultConfig() config {
 		pageTokens:   16,
 		prefillChunk: 32,
 		schedPol:     SchedFCFS,
+		routerName:   RouterBaseline,
+		migrate:      true,
 	}
 }
 
@@ -136,6 +140,22 @@ func WithSharedPrefix(tokens []int) Option {
 // continuous-batching engines (one per GPU, tiny-model decode over paged
 // KV, wall-clock time) instead of the discrete-event cost-model simulator.
 func WithRealEngine() Option { return func(c *config) { c.realEngine = true } }
+
+// WithRouter selects the fleet's routing policy by name (see
+// FleetRouters()): the paper's four Table 8 policies plus the live-only
+// "kv-pressure". Default: RouterBaseline. Cluster.ServeTrace takes its
+// router as an argument instead and ignores this option.
+func WithRouter(name string) Option { return func(c *config) { c.routerName = name } }
+
+// WithMigration toggles cross-engine migration of preemption victims on
+// the real multi-engine paths (NewFleet, and Cluster.ServeTrace under
+// WithRealEngine). When on — the default — a request evicted under KV page
+// pressure whose whole remaining lifetime fits another engine's free pages
+// is re-admitted there via the cheap path: its prompt plus already-emitted
+// tokens replay through the target's bit-identical recompute plane, so the
+// caller's stream is unchanged and only wall-clock time is spent. When
+// off, victims re-queue on their own engine as a standalone Server does.
+func WithMigration(on bool) Option { return func(c *config) { c.migrate = on } }
 
 // resolveMethod maps a method name to its registration, with a typed error.
 func resolveMethod(name string) (compress.Method, error) {

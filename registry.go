@@ -54,18 +54,31 @@ func Models() []string {
 	return out
 }
 
-// Router policy names, in the paper's Table 8 order.
+// Router policy names, in the paper's Table 8 order, plus the live-only
+// KV-pressure policy the real multi-engine fleet adds.
 const (
 	RouterBaseline       = "baseline"
 	RouterWithThroughput = "w/throughput"
 	RouterWithLength     = "w/length"
 	RouterWithBoth       = "w/both"
+	// RouterKVPressure routes on live KV-cache headroom: backlog plus
+	// in-flight prefill debt, with a heavy penalty for engines whose free
+	// page budget cannot hold the request's predicted KV demand. Only the
+	// real-engine backends populate the live fields it reads; under the
+	// simulator it degrades to backlog balancing.
+	RouterKVPressure = "kv-pressure"
 )
 
 // Routers returns the four routing policies of the paper's Section 5.4,
 // selectable by name via Cluster.Router.
 func Routers() []string {
 	return []string{RouterBaseline, RouterWithThroughput, RouterWithLength, RouterWithBoth}
+}
+
+// FleetRouters returns the routing policies selectable via WithRouter on
+// the live multi-engine fleet: the paper's four plus kv-pressure.
+func FleetRouters() []string {
+	return append(Routers(), RouterKVPressure)
 }
 
 // Scheduling policy names for the continuous-batching server

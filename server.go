@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"rethinkkv/internal/fleet"
 	"rethinkkv/internal/kvcache"
 	"rethinkkv/internal/model"
 	"rethinkkv/internal/sched"
@@ -24,6 +25,8 @@ func translateServeErr(err error) error {
 		return fmt.Errorf("%w (%v)", ErrOutOfPages, err)
 	case errors.Is(err, sched.ErrClosed):
 		return ErrServerClosed
+	case errors.Is(err, fleet.ErrBadRoute):
+		return fmt.Errorf("%w (%v)", ErrBadRoute, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return err
 	default:
@@ -71,6 +74,31 @@ type ServerStats struct {
 	// cache; PrefixTokensSaved totals the prefill tokens they skipped.
 	PrefixHits        int
 	PrefixTokensSaved int
+	// MigratedOut counts preemption victims handed to another engine
+	// instead of re-queued locally. Always 0 on a standalone Server; a
+	// Fleet reports it per engine (see FleetStats).
+	MigratedOut int
+}
+
+// serverStatsFrom converts the internal scheduler counters to their public
+// form — shared by Server.Stats and Fleet.Stats so the two surfaces cannot
+// drift.
+func serverStatsFrom(st sched.Stats) ServerStats {
+	return ServerStats{
+		Steps:             st.Steps,
+		Admitted:          st.Admitted,
+		Preemptions:       st.Preemptions,
+		Completed:         st.Completed,
+		Cancelled:         st.Cancelled,
+		PeakRunning:       st.PeakRunning,
+		PeakKVPages:       st.PeakPages,
+		PrefillChunks:     st.PrefillChunks,
+		MixedSteps:        st.MixedSteps,
+		PrefillPreempted:  st.PrefillPreempted,
+		PrefixHits:        st.PrefixHits,
+		PrefixTokensSaved: st.PrefixTokensSaved,
+		MigratedOut:       st.MigratedOut,
+	}
 }
 
 // Server is a continuous-batching serving engine over the real tiny-model
@@ -175,21 +203,7 @@ func (s *Server) Outcomes() []Outcome { return s.eng.Outcomes() }
 
 // Stats returns a snapshot of the scheduler counters.
 func (s *Server) Stats() ServerStats {
-	st := s.eng.Stats()
-	return ServerStats{
-		Steps:             st.Steps,
-		Admitted:          st.Admitted,
-		Preemptions:       st.Preemptions,
-		Completed:         st.Completed,
-		Cancelled:         st.Cancelled,
-		PeakRunning:       st.PeakRunning,
-		PeakKVPages:       st.PeakPages,
-		PrefillChunks:     st.PrefillChunks,
-		MixedSteps:        st.MixedSteps,
-		PrefillPreempted:  st.PrefillPreempted,
-		PrefixHits:        st.PrefixHits,
-		PrefixTokensSaved: st.PrefixTokensSaved,
-	}
+	return serverStatsFrom(s.eng.Stats())
 }
 
 // MeanTTFT returns the average time-to-first-token of outcomes, seconds.
