@@ -23,9 +23,11 @@ test:
 # model.ForwardMixedInto, whose sharded GEMMs and chunk attention spawn
 # goroutines at GOMAXPROCS>1) are the concurrency-heavy packages; run them —
 # including the interleaved prefill+decode tests — under the race detector
-# in CI.
+# in CI. internal/quant and internal/kvcache ride along since quantized
+# pages (append-time encode, fused dequant reads, CoW clones) now sit on
+# the same concurrent decode plane.
 race-sched:
-	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model
+	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model ./internal/quant ./internal/kvcache
 
 # fleet-smoke runs a tiny end-to-end multi-engine serve through servebench:
 # 2 engines, baseline router, no rate sweep or long-prompt scenario.
@@ -34,8 +36,12 @@ fleet-smoke:
 
 BENCH_PKGS = . ./internal/model ./internal/attention
 
+# bench-smoke compiles and single-steps every benchmark (including the
+# quantized-decode cases BenchmarkDecodeSteadyQuant / the PagedStridedQuant
+# benches) and re-pins the dequantize-on-stream path at 0 allocs/step.
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
+	$(GO) test -run 'TestQuantDecodeAllocs|TestPagedStridedQuantZeroAlloc|TestQuantStridedKernelsZeroAlloc' ./internal/model ./internal/attention ./internal/tensor
 
 # bench runs the decode and attention hot-path benchmarks with allocation
 # reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched /
@@ -50,7 +56,7 @@ bench-smoke:
 # timeshare).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
-	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4
+	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4
 
 # bench-serve records the baseline at the machine's native GOMAXPROCS (the
 # numbers in BENCH_serve.json state the setting; `make bench` additionally
@@ -58,6 +64,8 @@ bench:
 # adds the fleet scenario: a 4-engine fleet A/B'd against one server per
 # router policy on a decode-heavy page-pressure workload (fleet_scenario in
 # the JSON; its own -fleetmaxnew 96 budget makes KV growth, not arrival
-# order, the binding constraint).
+# order, the binding constraint). -kvquant adds the KV page precision A/B
+# (kv_quant_scenario): fp32 vs int8 vs int4 pages under one byte budget,
+# with SLO goodput and per-method accuracy deltas.
 bench-serve:
-	$(GO) run ./cmd/servebench -fleet 4 -out BENCH_serve.json
+	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -out BENCH_serve.json

@@ -111,6 +111,11 @@ func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
 		// NewServer rather than mid-ServeTrace with an untyped error.
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
 	}
+	if _, err := resolveKVQuant(cfg.kvQuant); err != nil {
+		// Real-engine-only as well: the simulator models compression
+		// methods, not live page precision, but fail fast here too.
+		return nil, err
+	}
 	sim := &serving.Cluster{BatchCap: cfg.batchCap, LM: gen.Default(), Seed: cfg.seed}
 	for i, name := range methods {
 		m, err := resolveMethod(name)
@@ -199,6 +204,10 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 	for i, g := range c.sim.GPUs {
 		methods[i] = g.Method
 	}
+	quantBits, err := resolveKVQuant(c.cfg.kvQuant)
+	if err != nil {
+		return nil, err // unreachable: NewCluster validated the name
+	}
 	// One shared clock origin for every engine and the replay itself, so
 	// arrivals and outcome timestamps are comparable across GPUs.
 	epoch := time.Now()
@@ -214,6 +223,7 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 			MaxNew:       c.cfg.maxNew,
 			PrefillChunk: c.cfg.prefillChunk,
 			Policy:       c.cfg.schedPol,
+			KVQuantBits:  quantBits,
 			Epoch:        epoch,
 		},
 	})

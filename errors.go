@@ -27,6 +27,9 @@ var (
 	// ErrUnknownPolicy reports a scheduling policy absent from
 	// SchedPolicies().
 	ErrUnknownPolicy = errors.New("rethinkkv: unknown scheduling policy")
+	// ErrUnknownQuantMethod reports a KV quantization method name absent
+	// from KVQuantMethods() (WithKVQuant).
+	ErrUnknownQuantMethod = errors.New("rethinkkv: unknown KV quantization method")
 	// ErrOutOfPages reports a request that cannot fit the server's KV page
 	// budget (WithKVPages) even running alone — the paged engine's
 	// out-of-memory condition. The facade translates the internal

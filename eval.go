@@ -66,11 +66,18 @@ func (e *Evaluator) LongBenchSamples(n, promptLen int, seed uint64) []Sample {
 // Baseline executes the FP16 reference run for a sample.
 func (e *Evaluator) Baseline(s Sample) *Reference { return e.ev.RunBaseline(s) }
 
-// Evaluate scores one method against a reference run. Unknown method names
-// return ErrUnknownMethod.
+// Evaluate scores one method against a reference run. Besides the offline
+// compression methods of Methods(), the live serving plane's KV page
+// precisions KVQuantInt8 and KVQuantInt4 (WithKVQuant) are accepted, so the
+// accuracy cost of quantized serving is measured with the same retention /
+// fidelity / agreement vocabulary. (KVQuantFP32 is not: full-precision
+// pages are the reference itself — its deltas are identically zero.)
+// Unknown method names return ErrUnknownMethod.
 func (e *Evaluator) Evaluate(ref *Reference, method string) (EvalResult, error) {
-	if _, err := resolveMethod(method); err != nil {
-		return EvalResult{}, err
+	if method != KVQuantInt8 && method != KVQuantInt4 {
+		if _, err := resolveMethod(method); err != nil {
+			return EvalResult{}, err
+		}
 	}
 	return e.ev.Evaluate(ref, method), nil
 }

@@ -87,6 +87,10 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
 	}
+	quantBits, err := resolveKVQuant(cfg.kvQuant)
+	if err != nil {
+		return nil, err
+	}
 	if len(cfg.sharedPrefix) > 0 {
 		if err := validatePrompt(cfg.sharedPrefix, model.Tiny().Vocab); err != nil {
 			return nil, fmt.Errorf("%w: shared prefix: %w", ErrInvalidOption, err)
@@ -108,6 +112,7 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 			MaxNew:       cfg.maxNew,
 			PrefillChunk: cfg.prefillChunk,
 			Policy:       cfg.schedPol,
+			KVQuantBits:  quantBits,
 			SharedPrefix: cfg.sharedPrefix,
 		},
 	})
@@ -136,7 +141,12 @@ func fleetRouterFor(cfg config) (serving.Router, error) {
 		if err != nil {
 			return nil, err
 		}
-		return router.WithLength{P: p}, nil
+		// The fleet's engines all run the fp16 data plane, so strict
+		// length routing predicts identical lengths everywhere and herds
+		// every burst onto engine 0. A default hysteresis band breaks those
+		// ties on live load; the simulated Cluster keeps the band at zero
+		// to preserve the paper's queue-blind Table 8 measurement.
+		return router.WithLength{P: p, Hysteresis: 0.1}, nil
 	case RouterWithBoth:
 		p, err := fleetPredictors(cfg)
 		if err != nil {

@@ -104,6 +104,16 @@ func TinyCache(methodName string, shape kvcache.Shape) (kvcache.Cache, error) {
 		return quant.NewIntact(shape, quant.DefaultIntact(4)), nil
 	case "mikv":
 		return quant.NewMiKV(shape, quant.DefaultMiKV()), nil
+	case "int8", "int4":
+		// The live serving plane's quantized KV pages (WithKVQuant), not an
+		// offline compression method: per-token uniform codes the decode
+		// kernels dequantize on stream. Evaluating them here is what turns
+		// the serving plane's capacity win into a measured accuracy cost.
+		bits := 8
+		if methodName == "int4" {
+			bits = 4
+		}
+		return kvcache.NewPagedKVQuant(shape, 16, 0, bits), nil
 	}
 	return nil, fmt.Errorf("accuracy: no tiny-scale mapping for method %q", methodName)
 }

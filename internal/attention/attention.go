@@ -17,6 +17,7 @@ package attention
 import (
 	"math"
 
+	"rethinkkv/internal/kvcache"
 	"rethinkkv/internal/tensor"
 )
 
@@ -261,6 +262,50 @@ func PagedStrided(out, q []float32, keyPages, valPages [][]float32, off, stride 
 	}
 	st.finish()
 	tr.ElemsRead = int64(2*n*d) + int64(len(keyPages))
+	tr.ElemsWritten = int64(d)
+	tr.Passes = 1
+	return tr
+}
+
+// PagedStridedQuant is PagedStrided's fused dequantize-on-stream sibling: it
+// streams quantized KV pages (as returned by kvcache.QuantReader.QuantPages)
+// through the one-pass kernel for a single head, dequantizing each element
+// inline — x = float32(code)·Δ + lo — as it enters the recurrence. No fp32
+// copy of the context is ever materialised: the only scratch is the
+// caller-owned single-entry value buffer vScratch (length len(q)). Output is
+// bit-identical to Paged/Flash over the cache's dequantized Seq views, since
+// the dequantization arithmetic and per-entry order match exactly. Traffic
+// counts code elements at their stored width alongside the float16 parameter
+// pairs, so the bandwidth saving of narrow codes is visible in the ledger.
+func PagedStridedQuant(out, q, vScratch []float32, pages []kvcache.QuantPage, bits, off, stride, kvHeads, head int) Traffic {
+	d := len(q)
+	var tr Traffic
+	n := 0
+	for p := range pages {
+		n += pages[p].Tokens(kvHeads)
+	}
+	if n == 0 {
+		tr.ElemsRead = int64(len(pages))
+		for j := range out {
+			out[j] = 0
+		}
+		return tr
+	}
+	invSqrt := float32(1 / math.Sqrt(float64(d)))
+	st := startOnlineSoftmax(out)
+	for p := range pages {
+		pg := &pages[p]
+		t := pg.Tokens(kvHeads)
+		for i := 0; i < t; i++ {
+			s := tensor.DotQuantEntry(q, pg.KCodes, pg.KParams, bits, off, stride, kvHeads, head, i) * invSqrt
+			tensor.DequantSliceInto(vScratch, pg.VCodes, pg.VParams, bits, off, stride, kvHeads, head, i)
+			st.step(s, vScratch)
+		}
+	}
+	st.finish()
+	// K and V codes once each (at code width), one (lo, delta) pair per
+	// entry per tensor, plus the block-table indirections.
+	tr.ElemsRead = int64(2*n*d) + int64(4*n) + int64(len(pages))
 	tr.ElemsWritten = int64(d)
 	tr.Passes = 1
 	return tr

@@ -1,0 +1,147 @@
+package attention
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+)
+
+// quantCache builds a quantized paged cache holding n pseudo-random tokens.
+func quantCache(n, pageTokens, bits int, seed int64) *kvcache.PagedKV {
+	shape := kvcache.Shape{Layers: 1, KVHeads: 2, HeadDim: 16}
+	c := kvcache.NewPagedKVQuant(shape, pageTokens, 0, bits)
+	stride := shape.KVHeads * shape.HeadDim
+	r := rand.New(rand.NewSource(seed))
+	k := make([]float32, stride)
+	v := make([]float32, stride)
+	for t := 0; t < n; t++ {
+		for i := range k {
+			k[i] = float32(r.NormFloat64())
+			v[i] = float32(r.NormFloat64())
+		}
+		c.AppendFlat(0, k, v)
+	}
+	return c
+}
+
+// The fused dequantize-on-stream kernel must be bit-identical to the
+// slice-of-slices Paged kernel over the cache's dequantized Seq views — the
+// same equivalence PagedStrided holds against Paged for fp32 pages.
+func TestPagedStridedQuantMatchesPagedOnDequantViews(t *testing.T) {
+	for _, bits := range []int{8, 4} {
+		for _, n := range []int{1, 16, 37} { // partial tail pages included
+			c := quantCache(n, 16, bits, int64(bits*100+n))
+			pages, stride := c.QuantPages(0)
+			shape := c.Shape()
+			r := rand.New(rand.NewSource(int64(n)))
+			q := make([]float32, shape.HeadDim)
+			for i := range q {
+				q[i] = float32(r.NormFloat64())
+			}
+			for head := 0; head < shape.KVHeads; head++ {
+				keys, vals := c.Seq(0, head)
+				var kp, vp [][][]float32
+				for i := 0; i < len(keys); i += 16 {
+					end := i + 16
+					if end > len(keys) {
+						end = len(keys)
+					}
+					kp = append(kp, keys[i:end])
+					vp = append(vp, vals[i:end])
+				}
+				want, _ := Paged(q, kp, vp)
+
+				out := make([]float32, shape.HeadDim)
+				scratch := make([]float32, shape.HeadDim)
+				tr := PagedStridedQuant(out, q, scratch, pages, bits, head*shape.HeadDim, stride, shape.KVHeads, head)
+				for j := range out {
+					if out[j] != want[j] {
+						t.Fatalf("bits=%d n=%d head=%d: out[%d]=%g, Paged over dequant views %g",
+							bits, n, head, j, out[j], want[j])
+					}
+				}
+				if tr.Passes != 1 || tr.ElemsWritten != int64(shape.HeadDim) {
+					t.Fatalf("bits=%d: unexpected traffic %+v", bits, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestPagedStridedQuantEmpty(t *testing.T) {
+	c := quantCache(0, 16, 8, 1)
+	pages, stride := c.QuantPages(0)
+	out := []float32{3, 1, 4}
+	scratch := make([]float32, 3)
+	PagedStridedQuant(out, []float32{1, 1, 1}, scratch, pages, 8, 0, stride, 2, 0)
+	for j, v := range out {
+		if v != 0 {
+			t.Fatalf("empty quant cache: out[%d]=%g, want 0", j, v)
+		}
+	}
+}
+
+// The dequantize-on-stream path allocates nothing per step.
+func TestPagedStridedQuantZeroAlloc(t *testing.T) {
+	c := quantCache(64, 16, 4, 2)
+	pages, stride := c.QuantPages(0)
+	shape := c.Shape()
+	q := make([]float32, shape.HeadDim)
+	out := make([]float32, shape.HeadDim)
+	scratch := make([]float32, shape.HeadDim)
+	if n := testing.AllocsPerRun(100, func() {
+		PagedStridedQuant(out, q, scratch, pages, 4, 0, stride, shape.KVHeads, 0)
+	}); n != 0 {
+		t.Fatalf("PagedStridedQuant allocated %.1f per run, want 0", n)
+	}
+}
+
+// BenchmarkPagedStridedQuant prices the fused dequantize-on-stream kernel
+// against the fp32 PagedStrided path at the same sequence length — the
+// per-element dequant ALU cost quantized pages pay for their 4–8× byte
+// saving.
+func BenchmarkPagedStridedQuant(b *testing.B) {
+	const n, pageTokens = 1024, 16
+	shape := kvcache.Shape{Layers: 1, KVHeads: 2, HeadDim: 16}
+	stride := shape.KVHeads * shape.HeadDim
+	r := rand.New(rand.NewSource(9))
+	q := make([]float32, shape.HeadDim)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	out := make([]float32, shape.HeadDim)
+	scratch := make([]float32, shape.HeadDim)
+
+	fp := kvcache.NewPagedKV(shape, pageTokens)
+	k := make([]float32, stride)
+	v := make([]float32, stride)
+	fill := func(c *kvcache.PagedKV) {
+		rr := rand.New(rand.NewSource(17))
+		for t := 0; t < n; t++ {
+			for i := range k {
+				k[i] = float32(rr.NormFloat64())
+				v[i] = float32(rr.NormFloat64())
+			}
+			c.AppendFlat(0, k, v)
+		}
+	}
+	fill(fp)
+	kp, vp, fpStride := fp.KVPages(0)
+	b.Run("fp32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PagedStrided(out, q, kp, vp, 0, fpStride)
+		}
+	})
+	for _, bits := range []int{8, 4} {
+		qc := kvcache.NewPagedKVQuant(shape, pageTokens, 0, bits)
+		fill(qc)
+		pages, qStride := qc.QuantPages(0)
+		b.Run(fmt.Sprintf("int%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PagedStridedQuant(out, q, scratch, pages, bits, 0, qStride, shape.KVHeads, 0)
+			}
+		})
+	}
+}

@@ -39,6 +39,12 @@ type PagedKV struct {
 	// those pages are full and immutable, so sharing is safe, but they
 	// must not be appended to.
 	shared int
+	// qbits selects the quantized page backend (see qpage.go): 0 stores
+	// full-precision fp32 pages in keyPages/valPages; 4 or 8 quantizes every
+	// token's K/V on append into qPages instead, and the fp32 page slices
+	// stay empty.
+	qbits  int
+	qPages [][]QuantPage // [layer][page], only when qbits != 0
 }
 
 // PageReader is the zero-copy read path over page-granular flat storage.
@@ -136,6 +142,20 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	if len(k) != c.shape.KVHeads || len(v) != c.shape.KVHeads {
 		panic("kvcache: head count mismatch on append")
 	}
+	if c.qbits != 0 {
+		p := c.qPageForAppend(layer)
+		for h := 0; h < c.shape.KVHeads; h++ {
+			if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
+				panic("kvcache: head dim mismatch on append")
+			}
+			p.KCodes, p.KParams = quantAppendSlice(p.KCodes, p.KParams, k[h], c.qbits)
+			p.VCodes, p.VParams = quantAppendSlice(p.VCodes, p.VParams, v[h], c.qbits)
+		}
+		if layer == c.shape.Layers-1 {
+			c.appended++
+		}
+		return
+	}
 	last := c.pageForAppend(layer)
 	for h := 0; h < c.shape.KVHeads; h++ {
 		if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
@@ -162,6 +182,13 @@ func (c *PagedKV) AppendFlat(layer int, k, v []float32) {
 	if stride := c.stride(); len(k) != stride || len(v) != stride {
 		panic("kvcache: flat append length mismatch")
 	}
+	if c.qbits != 0 {
+		c.appendQuantToken(layer, k, v)
+		if layer == c.shape.Layers-1 {
+			c.appended++
+		}
+		return
+	}
 	last := c.pageForAppend(layer)
 	c.keyPages[layer][last] = append(c.keyPages[layer][last], k...)
 	c.valPages[layer][last] = append(c.valPages[layer][last], v...)
@@ -184,6 +211,18 @@ func (c *PagedKV) AppendFlatN(layer, n int, k, v []float32) {
 	stride := c.stride()
 	if n < 0 || len(k) != n*stride || len(v) != len(k) {
 		panic("kvcache: flat append length mismatch")
+	}
+	if c.qbits != 0 {
+		// Each token quantizes independently at append, so the chunked form
+		// is the per-token form by construction: same codes, same params,
+		// same page boundaries as n successive AppendFlat calls.
+		for t := 0; t < n; t++ {
+			c.appendQuantToken(layer, k[t*stride:(t+1)*stride], v[t*stride:(t+1)*stride])
+		}
+		if layer == c.shape.Layers-1 {
+			c.appended += n
+		}
+		return
 	}
 	pageCap := c.pageTokens * stride
 	for len(k) > 0 {
@@ -217,14 +256,23 @@ func (c *PagedKV) pageForAppend(layer int) int {
 	return len(c.keyPages[layer]) - 1
 }
 
-// KVPages implements PageReader with zero copies and zero allocation.
+// KVPages implements PageReader with zero copies and zero allocation. A
+// quantized cache has no fp32 pages to stream — readers must dispatch on
+// QuantReader first (the model's hot path does); calling KVPages on one is a
+// contract violation and panics rather than silently attending over nothing.
 func (c *PagedKV) KVPages(layer int) (keyPages, valPages [][]float32, stride int) {
+	if c.qbits != 0 {
+		panic("kvcache: KVPages on a quantized cache; read QuantPages instead")
+	}
 	return c.keyPages[layer], c.valPages[layer], c.stride()
 }
 
 // Seq returns per-token views spanning the pages — the generic (allocating)
 // read path; hot paths should stream KVPages instead.
 func (c *PagedKV) Seq(layer, head int) (keys, values [][]float32) {
+	if c.qbits != 0 {
+		return c.seqQuant(layer, head)
+	}
 	d := c.shape.HeadDim
 	stride := c.stride()
 	off := head * d
@@ -254,6 +302,9 @@ func (c *PagedKV) Positions(layer, head int) []int {
 
 // Len reports the retained entry count for a head (uniform for PagedKV).
 func (c *PagedKV) Len(layer, head int) int {
+	if c.qbits != 0 {
+		return c.qLen(layer)
+	}
 	stride := c.stride()
 	n := 0
 	for _, p := range c.keyPages[layer] {
@@ -283,6 +334,20 @@ func (c *PagedKV) ClonePrefix() *PagedKV {
 		keyPages:   make([][][]float32, c.shape.Layers),
 		valPages:   make([][][]float32, c.shape.Layers),
 		appended:   c.appended,
+		qbits:      c.qbits,
+	}
+	if c.qbits != 0 {
+		n.qPages = make([][]QuantPage, c.shape.Layers)
+		for l := range c.qPages {
+			n.qPages[l] = cloneQuantPages(c.qPages[l], c.shape.KVHeads, c.pageTokens)
+		}
+		if pages := len(c.qPages[0]); pages > 0 {
+			n.shared = pages
+			if c.qPages[0][pages-1].Tokens(c.shape.KVHeads) < c.pageTokens {
+				n.shared = pages - 1 // last page was deep-copied
+			}
+		}
+		return n
 	}
 	pageCap := c.pageTokens * c.stride()
 	for l := range c.keyPages {
@@ -317,8 +382,17 @@ func (c *PagedKV) SharedPages() int { return c.shared }
 
 // MemoryBytes charges every allocated page at full capacity (K and V), in
 // FP16-equivalent bytes — internal fragmentation included, as a paged engine
-// actually pays it.
+// actually pays it. Quantized pages charge their true compressed footprint
+// (codes at the configured width plus float16 parameter pairs), so
+// compression ratios reported against the FP16 baseline are genuine.
 func (c *PagedKV) MemoryBytes() int64 {
+	if c.qbits != 0 {
+		var pages int64
+		for l := range c.qPages {
+			pages += int64(len(c.qPages[l]))
+		}
+		return pages * quantPageBytes(c.shape, c.pageTokens, c.qbits)
+	}
 	var pages int64
 	for l := range c.keyPages {
 		pages += int64(len(c.keyPages[l]))

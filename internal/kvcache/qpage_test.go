@@ -1,0 +1,211 @@
+package kvcache
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func qShape() Shape { return Shape{Layers: 2, KVHeads: 2, HeadDim: 4} }
+
+// qFill appends n tokens of deterministic pseudo-random K/V to every layer
+// via AppendFlat, returning the flat token-major spans it stored.
+func qFill(c *PagedKV, n int, seed int64) (k, v []float32) {
+	shape := c.Shape()
+	stride := shape.KVHeads * shape.HeadDim
+	r := rand.New(rand.NewSource(seed))
+	k = make([]float32, n*stride)
+	v = make([]float32, n*stride)
+	for i := range k {
+		k[i] = float32(r.NormFloat64())
+		v[i] = float32(r.NormFloat64())
+	}
+	for t := 0; t < n; t++ {
+		for l := 0; l < shape.Layers; l++ {
+			c.AppendFlat(l, k[t*stride:(t+1)*stride], v[t*stride:(t+1)*stride])
+		}
+	}
+	return k, v
+}
+
+func quantPagesEqual(a, b []QuantPage) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].KCodes) != len(b[i].KCodes) || len(a[i].KParams) != len(b[i].KParams) {
+			return false
+		}
+		for j := range a[i].KCodes {
+			if a[i].KCodes[j] != b[i].KCodes[j] || a[i].VCodes[j] != b[i].VCodes[j] {
+				return false
+			}
+		}
+		for j := range a[i].KParams {
+			if a[i].KParams[j] != b[i].KParams[j] || a[i].VParams[j] != b[i].VParams[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AppendFlatN must split a multi-token span across page boundaries and
+// quantize to exactly the pages n successive AppendFlat calls produce.
+func TestQuantAppendFlatNMatchesPerToken(t *testing.T) {
+	for _, bits := range []int{8, 4} {
+		const pageTokens, n = 4, 11 // 2 full pages + a 3-token tail
+		one := NewPagedKVQuant(qShape(), pageTokens, 0, bits)
+		k, v := qFill(one, n, 42)
+
+		batch := NewPagedKVQuant(qShape(), pageTokens, 0, bits)
+		for l := 0; l < qShape().Layers; l++ {
+			batch.AppendFlatN(l, n, k, v)
+		}
+		if batch.TotalAppended() != n || one.TotalAppended() != n {
+			t.Fatalf("bits=%d: appended %d/%d, want %d", bits, batch.TotalAppended(), one.TotalAppended(), n)
+		}
+		for l := 0; l < qShape().Layers; l++ {
+			ap, _ := one.QuantPages(l)
+			bp, _ := batch.QuantPages(l)
+			if len(ap) != 3 {
+				t.Fatalf("bits=%d layer %d: %d pages, want 3", bits, l, len(ap))
+			}
+			if !quantPagesEqual(ap, bp) {
+				t.Fatalf("bits=%d layer %d: AppendFlatN pages differ from per-token appends", bits, l)
+			}
+		}
+	}
+}
+
+// ClonePrefix over a quantized cache must share full pages by reference —
+// without re-quantizing them — and deep-copy only the partial tail.
+func TestQuantClonePrefixSharesFullPages(t *testing.T) {
+	const pageTokens = 4
+	c := NewPagedKVQuant(qShape(), pageTokens, 0, 8)
+	qFill(c, 6, 9) // 1 full page + 2-token tail
+	origPages, _ := c.QuantPages(0)
+	fullKCodes := append([]uint8(nil), origPages[0].KCodes...)
+
+	n := c.ClonePrefix()
+	if n.SharedPages() != 1 {
+		t.Fatalf("shared pages = %d, want 1", n.SharedPages())
+	}
+	cp, _ := c.QuantPages(0)
+	np, _ := n.QuantPages(0)
+	if &cp[0].KCodes[0] != &np[0].KCodes[0] || &cp[0].KParams[0] != &np[0].KParams[0] {
+		t.Fatalf("full quantized page was copied, want shared backing storage")
+	}
+	if &cp[1].KCodes[0] == &np[1].KCodes[0] {
+		t.Fatalf("partial tail page shares storage, want deep copy")
+	}
+
+	// Divergent appends: the clone and original grow independently and the
+	// shared full page's codes never change (no re-quantization).
+	stride := qShape().KVHeads * qShape().HeadDim
+	tok := make([]float32, stride)
+	for i := range tok {
+		tok[i] = float32(i) * 0.5
+	}
+	for l := 0; l < qShape().Layers; l++ {
+		n.AppendFlat(l, tok, tok)
+	}
+	if c.TotalAppended() != 6 || n.TotalAppended() != 7 {
+		t.Fatalf("appended = %d/%d, want 6/7", c.TotalAppended(), n.TotalAppended())
+	}
+	if got := origPages[0].KCodes; len(got) != len(fullKCodes) {
+		t.Fatalf("shared page code length changed")
+	} else {
+		for i := range got {
+			if got[i] != fullKCodes[i] {
+				t.Fatalf("shared full page was re-quantized at code %d", i)
+			}
+		}
+	}
+	if cp2, _ := c.QuantPages(0); cp2[1].Tokens(qShape().KVHeads) != 2 {
+		t.Fatalf("original tail grew with the clone")
+	}
+}
+
+// Seq must return dequantized views whose error is bounded by half a code
+// step, and the quantized cache must report Len consistently.
+func TestQuantSeqDequantizedWithinStep(t *testing.T) {
+	for _, bits := range []int{8, 4} {
+		c := NewPagedKVQuant(qShape(), 4, 0, bits)
+		k, _ := qFill(c, 10, 5)
+		stride := qShape().KVHeads * qShape().HeadDim
+		d := qShape().HeadDim
+		for head := 0; head < qShape().KVHeads; head++ {
+			keys, vals := c.Seq(0, head)
+			if len(keys) != 10 || len(vals) != 10 || c.Len(0, head) != 10 {
+				t.Fatalf("bits=%d: Seq returned %d/%d entries, Len %d, want 10", bits, len(keys), len(vals), c.Len(0, head))
+			}
+			for i := range keys {
+				orig := k[i*stride+head*d : i*stride+(head+1)*d]
+				lo, hi := orig[0], orig[0]
+				for _, x := range orig {
+					lo = float32(math.Min(float64(lo), float64(x)))
+					hi = float32(math.Max(float64(hi), float64(x)))
+				}
+				step := float64(hi-lo) / float64(int(1)<<bits-1)
+				tol := step*0.5 + float64(hi-lo)*1.0/1024 + 1e-6 // half a code + fp16 param rounding
+				for j := range keys[i] {
+					if err := math.Abs(float64(keys[i][j] - orig[j])); err > tol {
+						t.Fatalf("bits=%d token %d elem %d: dequant error %g exceeds %g", bits, i, j, err, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The quantized backend keeps the page budget contract: Reserve fails with
+// ErrOutOfPages past the budget and unreserved appends panic.
+func TestQuantBudgetContract(t *testing.T) {
+	c := NewPagedKVQuant(qShape(), 4, 2, 8)
+	qFill(c, 8, 1) // exactly 2 pages
+	if err := c.Reserve(1); !errors.Is(err, ErrOutOfPages) {
+		t.Fatalf("Reserve past budget: got %v, want ErrOutOfPages", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unreserved append past budget did not panic")
+		}
+	}()
+	stride := qShape().KVHeads * qShape().HeadDim
+	c.AppendFlat(0, make([]float32, stride), make([]float32, stride))
+}
+
+// KVPages on a quantized cache is a read-path contract violation.
+func TestQuantKVPagesPanics(t *testing.T) {
+	c := NewPagedKVQuant(qShape(), 4, 0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("KVPages on a quantized cache did not panic")
+		}
+	}()
+	c.KVPages(0)
+}
+
+// The byte-budget scaling: fp32 unchanged, int8/int4 hold strictly more
+// pages per byte (≥2× at this shape), and quantized MemoryBytes undercuts
+// the fp32 cache's FP16-equivalent footprint.
+func TestQuantPageAccounting(t *testing.T) {
+	shape, pt := qShape(), 16
+	if got := ScaledPageBudget(24, shape, pt, 0); got != 24 {
+		t.Fatalf("bits=0 budget scaled to %d, want 24", got)
+	}
+	b8 := ScaledPageBudget(24, shape, pt, 8)
+	b4 := ScaledPageBudget(24, shape, pt, 4)
+	if b8 < 48 || b4 <= b8 {
+		t.Fatalf("scaled budgets int8=%d int4=%d, want ≥48 and int4 > int8", b8, b4)
+	}
+	fp := NewPagedKVBudget(shape, pt, 0)
+	q := NewPagedKVQuant(shape, pt, 0, 4)
+	qFill(fp, 40, 2)
+	qFill(q, 40, 2)
+	if q.MemoryBytes() >= fp.MemoryBytes() {
+		t.Fatalf("quantized MemoryBytes %d not below fp32 cache's %d", q.MemoryBytes(), fp.MemoryBytes())
+	}
+}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -162,5 +163,34 @@ func BenchmarkDecodeSteadyPaged(b *testing.B) {
 			b.StartTimer()
 		}
 		m.ForwardInto(ws, i%Tiny().Vocab, cache.TotalAppended(), cache)
+	}
+}
+
+// BenchmarkDecodeSteadyQuant is BenchmarkDecodeSteadyPaged over quantized
+// pages: the per-element dequantization ALU cost the fused stream path pays
+// for holding 4-8x more context in the same page-byte budget.
+func BenchmarkDecodeSteadyQuant(b *testing.B) {
+	for _, bits := range []int{8, 4} {
+		b.Run(fmt.Sprintf("int%d", bits), func(b *testing.B) {
+			m := New(Tiny(), 1)
+			ws := m.NewWorkspace()
+			prompt := make([]int, 256)
+			for i := range prompt {
+				prompt[i] = i % Tiny().Vocab
+			}
+			cache := kvcache.NewPagedKVQuant(m.CacheShape(), 16, 0, bits)
+			m.PrefillInto(ws, prompt, cache)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cache.TotalAppended() >= 512 {
+					b.StopTimer()
+					cache = kvcache.NewPagedKVQuant(m.CacheShape(), 16, 0, bits)
+					m.PrefillInto(ws, prompt, cache)
+					b.StartTimer()
+				}
+				m.ForwardInto(ws, i%Tiny().Vocab, cache.TotalAppended(), cache)
+			}
+		})
 	}
 }

@@ -198,6 +198,7 @@ type cachePath struct {
 	cache    kvcache.Cache
 	flat     kvcache.FlatReader
 	pager    kvcache.PageReader
+	quant    kvcache.QuantReader
 	appender kvcache.FlatAppender
 	batch    kvcache.FlatBatchAppender
 	observer kvcache.AttentionObserver
@@ -206,7 +207,14 @@ type cachePath struct {
 func pathOf(c kvcache.Cache) cachePath {
 	cp := cachePath{cache: c}
 	cp.flat, _ = c.(kvcache.FlatReader)
-	cp.pager, _ = c.(kvcache.PageReader)
+	// A cache with quantized pages has no fp32 pages to stream: take the
+	// fused dequantize-on-stream path and never probe KVPages. QuantBits 0
+	// (a full-precision PagedKV) keeps the existing paged fast path.
+	if qr, ok := c.(kvcache.QuantReader); ok && qr.QuantBits() != 0 {
+		cp.quant = qr
+	} else {
+		cp.pager, _ = c.(kvcache.PageReader)
+	}
 	cp.appender, _ = c.(kvcache.FlatAppender)
 	cp.batch, _ = c.(kvcache.FlatBatchAppender)
 	cp.observer, _ = c.(kvcache.AttentionObserver)
@@ -342,6 +350,41 @@ func (m *Model) attendOver(ws *Workspace, cp *cachePath, l, limit int) {
 				cp.observer.ObserveAttention(l, kh, scores)
 			}
 			tensor.AXPYStrided(out, scores, vals, stride)
+		case cp.quant != nil:
+			// Quantized paged fast path: stream code pages through the
+			// fused dequantize-on-stream kernels — per-element
+			// x = float32(code)·Δ + lo straight into the accumulation, no
+			// fp32 copy of the context — with the same page walk and
+			// mid-page causal truncation as the fp32 paged path. Every
+			// token was quantized at its own append, so bounded attention
+			// here reads exactly what a token-at-a-time pass would have.
+			pages, stride := cp.quant.QuantPages(l)
+			bits := cp.quant.QuantBits()
+			kvh := cfg.KVHeads
+			off := kh * hd
+			i := 0
+			for p := 0; p < len(pages) && i < n; p++ {
+				t := pages[p].Tokens(kvh)
+				if i+t > n {
+					t = n - i
+				}
+				tensor.DotQuantStrided(scores[i:i+t], ws.qv, pages[p].KCodes, pages[p].KParams, bits, off, stride, kvh, kh)
+				i += t
+			}
+			tensor.Scale(scores, invSqrt)
+			tensor.Softmax(scores)
+			if cp.observer != nil {
+				cp.observer.ObserveAttention(l, kh, scores)
+			}
+			i = 0
+			for p := 0; p < len(pages) && i < n; p++ {
+				t := pages[p].Tokens(kvh)
+				if i+t > n {
+					t = n - i
+				}
+				tensor.AXPYQuantStrided(out, scores[i:i+t], pages[p].VCodes, pages[p].VParams, bits, off, stride, kvh, kh)
+				i += t
+			}
 		case cp.pager != nil:
 			// Paged fast path: stream flat pages, scores first so the
 			// softmax (and any observer) sees the whole sequence; stop

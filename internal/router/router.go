@@ -79,7 +79,19 @@ func (r WithThroughput) Route(req workload.Request, views []serving.GPUView) int
 }
 
 // WithLength routes to the minimum predicted response length, queue-blind.
-type WithLength struct{ P Predictors }
+type WithLength struct {
+	P Predictors
+	// Hysteresis, when positive, damps the herding failure mode of pure
+	// length routing: engines whose predicted length is within the relative
+	// band (1+Hysteresis)·min are treated as equivalent, and the
+	// least-loaded of them (backlog plus in-flight prefill debt) wins. In a
+	// homogeneous fleet every engine predicts the same length, so the
+	// queue-blind policy sends an entire burst to engine 0; the band turns
+	// those exact ties into load-balanced spread while still preferring a
+	// genuinely shorter engine outside the band. Zero keeps the paper's
+	// strict queue-blind argmin, which the Table 8 simulations measure.
+	Hysteresis float64
+}
 
 // Name implements serving.Router.
 func (WithLength) Name() string { return "w/length" }
@@ -87,14 +99,32 @@ func (WithLength) Name() string { return "w/length" }
 // Route implements serving.Router.
 func (r WithLength) Route(req workload.Request, views []serving.GPUView) int {
 	best, bestLen := 0, math.Inf(1)
+	lens := make([]float64, len(views))
+	for i := range lens {
+		lens[i] = math.Inf(1)
+	}
 	for i, v := range views {
 		lp := r.P.Len[v.Method.Name]
 		if lp == nil {
 			continue
 		}
-		l := lp.PredictLen(req, v.Method, r.P.Salt)
-		if l < bestLen {
-			best, bestLen = i, l
+		lens[i] = lp.PredictLen(req, v.Method, r.P.Salt)
+		if lens[i] < bestLen {
+			best, bestLen = i, lens[i]
+		}
+	}
+	if r.Hysteresis <= 0 || math.IsInf(bestLen, 1) {
+		return best
+	}
+	band := bestLen * (1 + r.Hysteresis)
+	bestLoad := math.Inf(1)
+	for i, v := range views {
+		if lens[i] > band {
+			continue
+		}
+		load := v.QueuedTokens + float64(v.PrefillTokens)
+		if load < bestLoad {
+			best, bestLoad = i, load
 		}
 	}
 	return best

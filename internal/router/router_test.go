@@ -156,3 +156,42 @@ func TestBaselineBalances(t *testing.T) {
 		}
 	}
 }
+
+// TestWithLengthHysteresisSpreadsBurst is the herding regression test: on a
+// homogeneous fleet every engine predicts the same response length, so the
+// strict queue-blind argmin sends an entire burst of simultaneous arrivals
+// to engine 0. The hysteresis band treats near-tied predictions as
+// equivalent and breaks them on live load, spreading the burst — while
+// Hysteresis == 0 must preserve the paper's strict behaviour bit-for-bit.
+func TestWithLengthHysteresisSpreadsBurst(t *testing.T) {
+	preds := buildPredictors(t, []string{"fp16"})
+	burst := trace(40, 0) // RPS 0: all requests arrive at t=0 — the worst-case herd
+	strict, err := uniformCluster("fp16").Run(burst, WithLength{P: preds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictCounts := map[int]int{}
+	for _, o := range strict {
+		strictCounts[o.GPU]++
+	}
+	if strictCounts[0] != len(strict) {
+		t.Fatalf("strict w/Length should herd the whole burst to engine 0: %v", strictCounts)
+	}
+
+	spread, err := uniformCluster("fp16").Run(burst, WithLength{P: preds, Hysteresis: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, o := range spread {
+		counts[o.GPU]++
+	}
+	for id := 0; id < 4; id++ {
+		if counts[id] == 0 {
+			t.Fatalf("hysteresis left engine %d idle under a burst: %v", id, counts)
+		}
+	}
+	if counts[0] == len(spread) {
+		t.Fatalf("hysteresis still herded everything to engine 0: %v", counts)
+	}
+}

@@ -103,6 +103,17 @@ type Config struct {
 	// engines' View/Backlog, but it must not block on this engine's own
 	// progress (e.g. by draining it).
 	Migrate func(gpu int, req Request, generated int) bool
+	// KVQuantBits selects quantized KV pages for every request cache: 0
+	// (default) stores full-precision fp32 pages, 8 or 4 stores
+	// uniform-quantized codes with float16 scale pairs. KVPages stays
+	// denominated in fp32-page bytes — the engine converts it once into the
+	// larger number of quantized pages the same byte budget holds
+	// (kvcache.ScaledPageBudget), which is where quantization buys
+	// capacity: more resident sequences before preemption, identical byte
+	// footprint. Decode streams codes through the fused dequantize-on-read
+	// kernels, so outputs are deterministic (recompute-exact) though not
+	// bit-identical to fp32 serving.
+	KVQuantBits int
 	// SharedPrefix, when non-empty, is prefilled once at engine start and
 	// reused for every request whose prompt strictly extends it: the
 	// request's cache starts as a copy-on-write page clone of the prefix
@@ -138,6 +149,9 @@ func (c *Config) normalize() error {
 	}
 	if c.KVPages < 0 {
 		return fmt.Errorf("sched: negative page budget %d", c.KVPages)
+	}
+	if c.KVQuantBits != 0 && c.KVQuantBits != 4 && c.KVQuantBits != 8 {
+		return fmt.Errorf("sched: unsupported KV quant width %d (want 0, 4 or 8)", c.KVQuantBits)
 	}
 	return nil
 }
@@ -284,6 +298,11 @@ type Engine struct {
 	pool  *core.WorkspacePool
 	cfg   Config
 	start time.Time
+	// pageBudget is cfg.KVPages converted to the engine's page currency:
+	// identical for fp32 caches, scaled up by kvcache.ScaledPageBudget when
+	// KVQuantBits is set (the same bytes hold more quantized pages). All
+	// admission, reservation, and preemption accounting uses this value.
+	pageBudget int
 
 	// prefixCache holds the prefilled SharedPrefix (nil when the feature
 	// is off); it is immutable after New and cloned per matching request.
@@ -343,16 +362,18 @@ func New(m *model.Model, cfg Config) (*Engine, error) {
 		pool:  core.NewWorkspacePool(m),
 		cfg:   cfg,
 		start: start,
-		wake:  make(chan struct{}, 1),
-		done:  make(chan struct{}),
+		pageBudget: kvcache.ScaledPageBudget(
+			cfg.KVPages, m.CacheShape(), cfg.PageTokens, cfg.KVQuantBits),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
 	}
 	if n := len(cfg.SharedPrefix); n > 0 {
 		prefixPages := kvcache.PagesFor(n, cfg.PageTokens)
-		if cfg.KVPages > 0 && prefixPages >= cfg.KVPages {
+		if e.pageBudget > 0 && prefixPages >= e.pageBudget {
 			return nil, fmt.Errorf("%w: shared prefix needs %d pages, budget %d leaves no room for requests",
-				kvcache.ErrOutOfPages, prefixPages, cfg.KVPages)
+				kvcache.ErrOutOfPages, prefixPages, e.pageBudget)
 		}
-		cache := kvcache.NewPagedKVBudget(m.CacheShape(), cfg.PageTokens, cfg.KVPages)
+		cache := kvcache.NewPagedKVQuant(m.CacheShape(), cfg.PageTokens, e.pageBudget, cfg.KVQuantBits)
 		// Construction-time prefill has no decode traffic to interleave
 		// with, but the chunk plane's batched GEMMs still finish a long
 		// prefix several times faster than token-at-a-time ForwardInto —
@@ -417,8 +438,8 @@ func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Token, error) 
 	if req.MaxNew <= 0 {
 		req.MaxNew = e.cfg.MaxNew
 	}
-	if e.cfg.KVPages > 0 {
-		budget := e.cfg.KVPages
+	if e.pageBudget > 0 {
+		budget := e.pageBudget
 		if e.prefixCache != nil {
 			budget -= kvcache.PagesFor(len(e.cfg.SharedPrefix), e.cfg.PageTokens)
 		}
@@ -546,7 +567,7 @@ func (e *Engine) View() View {
 		Running:       e.viewRunning,
 		BacklogTokens: e.runningLoad,
 		UsedPages:     e.viewUsedPages,
-		PageBudget:    e.cfg.KVPages,
+		PageBudget:    e.pageBudget,
 		PageTokens:    e.cfg.PageTokens,
 		PrefillTokens: e.viewPrefill,
 		StepSeconds:   e.viewStep,
@@ -638,7 +659,7 @@ func (e *Engine) admitLocked() {
 			// evict on the very next step, repeat).
 			need++
 		}
-		if e.cfg.KVPages > 0 && e.usedPages+need > e.cfg.KVPages {
+		if e.pageBudget > 0 && e.usedPages+need > e.pageBudget {
 			break // head request waits for pages; keep order
 		}
 		e.queue = append(e.queue[:i], e.queue[i+1:]...)
@@ -658,7 +679,7 @@ func (e *Engine) admitLocked() {
 				e.stats.PrefixTokensSaved += pl
 			}
 		} else {
-			cache = kvcache.NewPagedKVBudget(e.m.CacheShape(), e.cfg.PageTokens, e.cfg.KVPages)
+			cache = kvcache.NewPagedKVQuant(e.m.CacheShape(), e.cfg.PageTokens, e.pageBudget, e.cfg.KVQuantBits)
 			err = cache.Reserve(len(prompt))
 		}
 		if err != nil {
@@ -711,7 +732,7 @@ func (e *Engine) pickLocked() int {
 // until they do. The submit-time invariant guarantees a lone request
 // always fits, so the loop terminates with at least one runner.
 func (e *Engine) preemptForStep() {
-	if e.cfg.KVPages == 0 {
+	if e.pageBudget == 0 {
 		return
 	}
 	for {
@@ -723,7 +744,7 @@ func (e *Engine) preemptForStep() {
 				needs++
 			}
 		}
-		if e.usedPages+needs <= e.cfg.KVPages || len(e.running) <= 1 {
+		if e.usedPages+needs <= e.pageBudget || len(e.running) <= 1 {
 			return
 		}
 		v := e.victim()

@@ -1,0 +1,41 @@
+package serving
+
+// SLO names the two per-request latency deadlines production serving is
+// graded on: time to first token and mean time between output tokens, both
+// in the backend's time unit (wall-clock seconds for the real engines,
+// virtual seconds for the simulator). A zero deadline means "no constraint
+// on that metric".
+type SLO struct {
+	TTFT float64
+	TBOT float64
+}
+
+// Attains reports whether one outcome meets both deadlines.
+func (s SLO) Attains(o Outcome) bool {
+	if s.TTFT > 0 && o.TTFT() > s.TTFT {
+		return false
+	}
+	if s.TBOT > 0 && o.TBOT() > s.TBOT {
+		return false
+	}
+	return true
+}
+
+// SLOGoodput returns the fraction of generated tokens that belong to
+// requests attaining the SLO — goodput as a share of raw throughput.
+// Token-weighting (rather than counting requests) makes the metric honest
+// about long responses: a 100-token stream that blows its deadlines drags
+// goodput down by its full cost, not by 1/N. Returns 0 for an empty run.
+func SLOGoodput(outcomes []Outcome, slo SLO) float64 {
+	total, good := 0, 0
+	for _, o := range outcomes {
+		total += o.RespLen
+		if slo.Attains(o) {
+			good += o.RespLen
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(good) / float64(total)
+}

@@ -1,0 +1,53 @@
+package serving
+
+import (
+	"testing"
+
+	"rethinkkv/internal/workload"
+)
+
+// outcomeAt builds an outcome with the given TTFT and TBOT (arrival at 0).
+func outcomeAt(ttft, tbot float64, respLen int) Outcome {
+	return Outcome{
+		Req:        workload.Request{ArrivalTime: 0},
+		RespLen:    respLen,
+		FirstToken: ttft,
+		Finish:     ttft + tbot*float64(respLen-1),
+	}
+}
+
+func TestSLOGoodputTokenWeighted(t *testing.T) {
+	slo := SLO{TTFT: 1.0, TBOT: 0.1}
+	outcomes := []Outcome{
+		outcomeAt(0.5, 0.05, 30),  // attains both
+		outcomeAt(2.0, 0.05, 50),  // misses TTFT
+		outcomeAt(0.5, 0.20, 20),  // misses TBOT
+		outcomeAt(0.9, 0.099, 10), // attains at the margin
+	}
+	got := SLOGoodput(outcomes, slo)
+	want := float64(30+10) / float64(30+50+20+10)
+	if got != want {
+		t.Fatalf("goodput %v, want %v", got, want)
+	}
+}
+
+func TestSLOZeroDeadlinesUnconstrained(t *testing.T) {
+	outcomes := []Outcome{outcomeAt(100, 100, 7)}
+	if g := SLOGoodput(outcomes, SLO{}); g != 1 {
+		t.Fatalf("unconstrained goodput %v, want 1", g)
+	}
+	if g := SLOGoodput(outcomes, SLO{TTFT: 1}); g != 0 {
+		t.Fatalf("TTFT-only goodput %v, want 0", g)
+	}
+	if g := SLOGoodput(nil, SLO{TTFT: 1}); g != 0 {
+		t.Fatalf("empty-run goodput %v, want 0", g)
+	}
+}
+
+func TestSLOSingleTokenHasNoTBOT(t *testing.T) {
+	// RespLen 1 defines TBOT as 0, so only the TTFT gate applies.
+	o := Outcome{Req: workload.Request{ArrivalTime: 0}, RespLen: 1, FirstToken: 0.5, Finish: 0.5}
+	if !(SLO{TTFT: 1, TBOT: 0.001}).Attains(o) {
+		t.Fatal("single-token outcome should attain any TBOT deadline")
+	}
+}

@@ -1,0 +1,132 @@
+package rethinkkv_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rethinkkv"
+)
+
+// Unknown KV quantization methods must fail fast at construction on every
+// facade that accepts WithKVQuant, with the typed sentinel — mirroring the
+// ErrUnknownPolicy contract.
+func TestKVQuantUnknownMethodFailsFast(t *testing.T) {
+	if _, err := rethinkkv.NewServer(rethinkkv.WithKVQuant("int3")); !errors.Is(err, rethinkkv.ErrUnknownQuantMethod) {
+		t.Fatalf("NewServer bad quant = %v, want ErrUnknownQuantMethod", err)
+	}
+	if _, err := rethinkkv.NewFleet(2, rethinkkv.WithKVQuant("fp8")); !errors.Is(err, rethinkkv.ErrUnknownQuantMethod) {
+		t.Fatalf("NewFleet bad quant = %v, want ErrUnknownQuantMethod", err)
+	}
+	if _, err := rethinkkv.NewCluster([]string{"fp16"}, rethinkkv.WithKVQuant("nf4")); !errors.Is(err, rethinkkv.ErrUnknownQuantMethod) {
+		t.Fatalf("NewCluster bad quant = %v, want ErrUnknownQuantMethod", err)
+	}
+}
+
+// Every name the registry lists must construct a working server.
+func TestKVQuantMethodsRegistry(t *testing.T) {
+	methods := rethinkkv.KVQuantMethods()
+	want := []string{rethinkkv.KVQuantFP32, rethinkkv.KVQuantInt8, rethinkkv.KVQuantInt4}
+	if len(methods) != len(want) {
+		t.Fatalf("KVQuantMethods() = %v, want %v", methods, want)
+	}
+	for i, name := range want {
+		if methods[i] != name {
+			t.Fatalf("KVQuantMethods()[%d] = %q, want %q", i, methods[i], name)
+		}
+	}
+	for _, name := range methods {
+		s, err := rethinkkv.NewServer(rethinkkv.WithKVQuant(name), rethinkkv.WithMaxNewTokens(4))
+		if err != nil {
+			t.Fatalf("NewServer(WithKVQuant(%q)): %v", name, err)
+		}
+		s.Close()
+	}
+}
+
+// A quantized server must serve real streams: per-request token counts hit
+// the cap and the stream is identical across two identically-seeded servers
+// (determinism at the facade boundary).
+func TestKVQuantServerServesDeterministically(t *testing.T) {
+	run := func() [][]int {
+		t.Helper()
+		s, err := rethinkkv.NewServer(
+			rethinkkv.WithKVQuant(rethinkkv.KVQuantInt4),
+			rethinkkv.WithSeed(5), rethinkkv.WithMaxNewTokens(10), rethinkkv.WithPageTokens(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		prompts := [][]int{{1, 2, 3, 4, 5}, {100, 200, 300}, {42}}
+		chans := make([]<-chan rethinkkv.Token, len(prompts))
+		for i, p := range prompts {
+			ch, err := s.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: p})
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			chans[i] = ch
+		}
+		out := make([][]int, len(prompts))
+		for i, ch := range chans {
+			for tok := range ch {
+				out[i] = append(out[i], tok.ID)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != 10 {
+			t.Fatalf("request %d: %d tokens, want 10", i, len(a[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("request %d token %d: %d != %d across identical servers", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// The accuracy evaluator must score the live quant methods with the same
+// vocabulary as the offline compression methods — and reject fp32, whose
+// deltas against the fp16-plane reference are identically zero by
+// construction.
+func TestKVQuantAccuracyDeltas(t *testing.T) {
+	ev, err := rethinkkv.NewEvaluator(rethinkkv.WithSeed(3), rethinkkv.WithContSteps(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ev.LongBenchSamples(1, 96, 7)[0]
+	ref := ev.Baseline(s)
+	r8, err := ev.Evaluate(ref, rethinkkv.KVQuantInt8)
+	if err != nil {
+		t.Fatalf("evaluate int8: %v", err)
+	}
+	r4, err := ev.Evaluate(ref, rethinkkv.KVQuantInt4)
+	if err != nil {
+		t.Fatalf("evaluate int4: %v", err)
+	}
+	for name, r := range map[string]rethinkkv.EvalResult{"int8": r8, "int4": r4} {
+		if r.Retention != 1 {
+			t.Fatalf("%s: retention %v, want 1 (quantization drops no positions)", name, r.Retention)
+		}
+		if r.HiddenSim <= 0 || r.HiddenSim > 1 {
+			t.Fatalf("%s: hidden cosine %v out of (0, 1]", name, r.HiddenSim)
+		}
+		if r.Fidelity <= 0 || r.Fidelity > 1 {
+			t.Fatalf("%s: key fidelity %v out of (0, 1]", name, r.Fidelity)
+		}
+	}
+	if r4.Fidelity > r8.Fidelity {
+		t.Fatalf("int4 key fidelity %v should not beat int8 %v", r4.Fidelity, r8.Fidelity)
+	}
+	if _, err := ev.Evaluate(ref, rethinkkv.KVQuantFP32); !errors.Is(err, rethinkkv.ErrUnknownMethod) {
+		t.Fatalf("evaluate fp32 = %v, want ErrUnknownMethod", err)
+	}
+}

@@ -30,6 +30,7 @@ type config struct {
 	pageTokens   int
 	prefillChunk int
 	schedPol     string
+	kvQuant      string
 	realEngine   bool
 	sharedPrefix []int
 	routerName   string
@@ -52,6 +53,7 @@ func defaultConfig() config {
 		pageTokens:   16,
 		prefillChunk: 32,
 		schedPol:     SchedFCFS,
+		kvQuant:      KVQuantFP32,
 		routerName:   RouterBaseline,
 		migrate:      true,
 	}
@@ -127,6 +129,21 @@ func WithPrefillChunk(n int) Option { return func(c *config) { c.prefillChunk = 
 // (see SchedPolicies()): SchedFCFS or SchedSJF. Default: SchedFCFS.
 func WithSchedPolicy(name string) Option { return func(c *config) { c.schedPol = name } }
 
+// WithKVQuant selects the live serving plane's KV page precision by name
+// (see KVQuantMethods()): KVQuantFP32 (the default full-precision pages),
+// KVQuantInt8, or KVQuantInt4. Quantized pages hold the same byte budget's
+// worth of context in 3–8× more resident pages — WithKVPages stays
+// denominated in fp32-page bytes and the engine scales it — so a server
+// under page pressure preempts less and sustains more concurrent streams.
+// Decode streams the codes through fused dequantize-on-read kernels (no
+// fp32 copy of the context is ever materialised) and stays deterministic:
+// preemption→recompute and chunked prefill reproduce streams bit-exactly.
+// Outputs are not bit-identical to fp32 serving; measure the accuracy cost
+// per method with NewEvaluator. Applies to NewServer, NewFleet, and
+// Cluster.ServeTrace under WithRealEngine; the simulator and the offline
+// compression methods (WithMethod) are unaffected.
+func WithKVQuant(method string) Option { return func(c *config) { c.kvQuant = method } }
+
 // WithSharedPrefix installs a shared prompt prefix (e.g. a system prompt)
 // the server prefills once and reuses — via copy-on-write KV page clones —
 // for every request whose prompt strictly extends it. Decode output is
@@ -156,6 +173,20 @@ func WithRouter(name string) Option { return func(c *config) { c.routerName = na
 // caller's stream is unchanged and only wall-clock time is spent. When
 // off, victims re-queue on their own engine as a standalone Server does.
 func WithMigration(on bool) Option { return func(c *config) { c.migrate = on } }
+
+// resolveKVQuant maps a KV quantization method name to its code width in
+// bits (0 for full precision), with a typed error.
+func resolveKVQuant(name string) (int, error) {
+	switch name {
+	case KVQuantFP32:
+		return 0, nil
+	case KVQuantInt8:
+		return 8, nil
+	case KVQuantInt4:
+		return 4, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownQuantMethod, name)
+}
 
 // resolveMethod maps a method name to its registration, with a typed error.
 func resolveMethod(name string) (compress.Method, error) {

@@ -81,6 +81,28 @@ func FleetRouters() []string {
 	return append(Routers(), RouterKVPressure)
 }
 
+// KV quantization method names for the live serving plane (WithKVQuant).
+// These are orthogonal to the offline compression methods of Methods():
+// a Methods() entry changes what the accuracy/cost study retains, while a
+// KV quant method changes how the real engines' paged caches store every
+// retained token.
+const (
+	// KVQuantFP32 stores full-precision fp32 pages (the default).
+	KVQuantFP32 = "fp32"
+	// KVQuantInt8 stores 8-bit uniform codes with float16 scale pairs,
+	// ~3–4× the resident pages per byte budget.
+	KVQuantInt8 = "int8"
+	// KVQuantInt4 stores 4-bit codes packed two per byte, ~5–8× the
+	// resident pages per byte budget.
+	KVQuantInt4 = "int4"
+)
+
+// KVQuantMethods returns the KV page precisions selectable via WithKVQuant
+// on the real serving backends.
+func KVQuantMethods() []string {
+	return []string{KVQuantFP32, KVQuantInt8, KVQuantInt4}
+}
+
 // Scheduling policy names for the continuous-batching server
 // (WithSchedPolicy).
 const (

@@ -116,10 +116,11 @@ type Server struct {
 
 // NewServer starts a continuous-batching server. Options: WithSeed,
 // WithMaxNewTokens, WithMaxBatch, WithKVPages, WithPageTokens,
-// WithPrefillChunk, WithSchedPolicy. Unknown policies return
-// ErrUnknownPolicy. The server
-// decodes full-precision paged KV (the fp16 data plane); close it with
-// Close when done.
+// WithPrefillChunk, WithSchedPolicy, WithKVQuant. Unknown policies return
+// ErrUnknownPolicy; unknown KV quant methods return ErrUnknownQuantMethod.
+// The server decodes full-precision paged KV by default; WithKVQuant
+// switches the pages to int8/int4 codes streamed through fused
+// dequantize-on-read kernels. Close it with Close when done.
 func NewServer(opts ...Option) (*Server, error) {
 	cfg := buildConfig(opts)
 	switch {
@@ -137,6 +138,10 @@ func NewServer(opts ...Option) (*Server, error) {
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
 	}
+	quantBits, err := resolveKVQuant(cfg.kvQuant)
+	if err != nil {
+		return nil, err
+	}
 	if len(cfg.sharedPrefix) > 0 {
 		if err := validatePrompt(cfg.sharedPrefix, model.Tiny().Vocab); err != nil {
 			return nil, fmt.Errorf("%w: shared prefix: %w", ErrInvalidOption, err)
@@ -150,6 +155,7 @@ func NewServer(opts ...Option) (*Server, error) {
 		MaxNew:       cfg.maxNew,
 		PrefillChunk: cfg.prefillChunk,
 		Policy:       cfg.schedPol,
+		KVQuantBits:  quantBits,
 		SharedPrefix: cfg.sharedPrefix,
 	})
 	if err != nil {
@@ -206,6 +212,11 @@ func (s *Server) Stats() ServerStats {
 	return serverStatsFrom(s.eng.Stats())
 }
 
+// PageBudget returns the engine's effective KV page budget: WithKVPages(n)
+// as-is for full-precision pages, or the larger page count the same byte
+// budget holds under WithKVQuant. 0 means unbounded.
+func (s *Server) PageBudget() int { return s.eng.View().PageBudget }
+
 // MeanTTFT returns the average time-to-first-token of outcomes, seconds.
 func MeanTTFT(outcomes []Outcome) float64 {
 	return stats.Mean(serving.TTFTs(outcomes))
@@ -230,3 +241,15 @@ func TTFTs(outcomes []Outcome) []float64 { return serving.TTFTs(outcomes) }
 // Percentile returns the p-th percentile (p in [0,100]) of xs with linear
 // interpolation — a convenience over TTFTs/E2Es for latency reporting.
 func Percentile(xs []float64, p float64) float64 { return stats.Percentile(xs, p) }
+
+// SLO names the per-request latency deadlines goodput is graded on: time to
+// first token and mean time between output tokens, in seconds. A zero
+// deadline leaves that metric unconstrained.
+type SLO = serving.SLO
+
+// SLOGoodput returns the fraction of generated tokens belonging to requests
+// that met both SLO deadlines — goodput as a share of raw throughput,
+// token-weighted so long blown-deadline responses count at full cost.
+func SLOGoodput(outcomes []Outcome, slo SLO) float64 {
+	return serving.SLOGoodput(outcomes, slo)
+}
