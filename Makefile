@@ -25,9 +25,11 @@ test:
 # including the interleaved prefill+decode tests — under the race detector
 # in CI. internal/quant and internal/kvcache ride along since quantized
 # pages (append-time encode, fused dequant reads, CoW clones) now sit on
-# the same concurrent decode plane.
+# the same concurrent decode plane, and internal/attention because the
+# sparse page-selection kernels (criticality scoring over the key summaries)
+# run inside the sharded decode step.
 race-sched:
-	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model ./internal/quant ./internal/kvcache
+	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model ./internal/quant ./internal/kvcache ./internal/attention
 
 # fleet-smoke runs a tiny end-to-end multi-engine serve through servebench:
 # 2 engines, baseline router, no rate sweep or long-prompt scenario.
@@ -38,10 +40,12 @@ BENCH_PKGS = . ./internal/model ./internal/attention
 
 # bench-smoke compiles and single-steps every benchmark (including the
 # quantized-decode cases BenchmarkDecodeSteadyQuant / the PagedStridedQuant
-# benches) and re-pins the dequantize-on-stream path at 0 allocs/step.
+# benches, and the sparse-attention cases BenchmarkDecodeSteadySparse /
+# BenchmarkPagedStridedSparse / BenchmarkQuestSummaries) and re-pins the
+# dequantize-on-stream and sparse-selection decode paths at 0 allocs/step.
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
-	$(GO) test -run 'TestQuantDecodeAllocs|TestPagedStridedQuantZeroAlloc|TestQuantStridedKernelsZeroAlloc' ./internal/model ./internal/attention ./internal/tensor
+	$(GO) test -run 'TestQuantDecodeAllocs|TestPagedStridedQuantZeroAlloc|TestQuantStridedKernelsZeroAlloc|TestSparseDecodeAllocs|TestSparseAttentionZeroAlloc' ./internal/model ./internal/attention ./internal/tensor
 
 # bench runs the decode and attention hot-path benchmarks with allocation
 # reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched /
@@ -56,7 +60,7 @@ bench-smoke:
 # timeshare).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
-	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4
+	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32
 
 # bench-serve records the baseline at the machine's native GOMAXPROCS (the
 # numbers in BENCH_serve.json state the setting; `make bench` additionally
@@ -66,6 +70,9 @@ bench:
 # the JSON; its own -fleetmaxnew 96 budget makes KV growth, not arrival
 # order, the binding constraint). -kvquant adds the KV page precision A/B
 # (kv_quant_scenario): fp32 vs int8 vs int4 pages under one byte budget,
-# with SLO goodput and per-method accuracy deltas.
+# with SLO goodput and per-method accuracy deltas. -sparse adds the
+# long-context sparse decode A/B (sparse_scenario): a 3072-token prompt
+# decoded under full attention vs Quest-style topK page selection, with
+# decode tok/s, attention-mass recall and task-score deltas per budget.
 bench-serve:
-	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -out BENCH_serve.json
+	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32 -out BENCH_serve.json

@@ -116,6 +116,9 @@ func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
 		// methods, not live page precision, but fail fast here too.
 		return nil, err
 	}
+	if cfg.sparseTopK < 0 {
+		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
+	}
 	sim := &serving.Cluster{BatchCap: cfg.batchCap, LM: gen.Default(), Seed: cfg.seed}
 	for i, name := range methods {
 		m, err := resolveMethod(name)
@@ -185,6 +188,7 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 		return nil, nil
 	}
 	m := model.New(model.Tiny(), c.cfg.seed)
+	m.SetSparseTopK(c.cfg.sparseTopK)
 	vocab := m.Config().Vocab
 	maxPrompt := m.Config().MaxSeq - c.cfg.maxNew
 	if maxPrompt < 1 {

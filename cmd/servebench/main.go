@@ -61,6 +61,37 @@ type report struct {
 	LongPrompt  *longPromptScenario `json:"long_prompt_scenario,omitempty"`
 	Fleet       *fleetScenario      `json:"fleet_scenario,omitempty"`
 	KVQuant     *kvQuantScenario    `json:"kv_quant_scenario,omitempty"`
+	Sparse      *sparseScenario     `json:"sparse_scenario,omitempty"`
+}
+
+// sparseScenario A/Bs Quest-style sparse decode (WithSparseAttention) against
+// full attention on a long-context request: one long prompt prefilled densely,
+// then a decode phase that either reads every resident KV page or only the
+// topK most critical pages per (layer, head). Decode tokens/s isolates the
+// decode phase (first token to finish), where the page selection pays off;
+// the recall and accuracy columns price what skipping pages costs, scored by
+// the same evaluator as the compression methods.
+type sparseScenario struct {
+	Description  string      `json:"description"`
+	PromptTokens int         `json:"prompt_tokens"`
+	MaxNew       int         `json:"max_new"`
+	PageTokens   int         `json:"page_tokens"`
+	PromptPages  int         `json:"prompt_pages"`
+	Full         sparseRun   `json:"full_attention"`
+	TopK         []sparseRun `json:"top_k"`
+}
+
+type sparseRun struct {
+	TopK           int     `json:"top_k,omitempty"`
+	DecodeTokPerS  float64 `json:"decode_tokens_per_sec"`
+	SpeedupVsFull  float64 `json:"speedup_vs_full,omitempty"`
+	PagesSelected  int64   `json:"pages_selected,omitempty"`
+	PagesTotal     int64   `json:"pages_total,omitempty"`
+	PagesReadFrac  float64 `json:"pages_read_frac,omitempty"`
+	Recall         float64 `json:"recall,omitempty"`
+	Agreement      float64 `json:"agreement,omitempty"`
+	TaskScore      float64 `json:"task_score,omitempty"`
+	TaskScoreDelta float64 `json:"task_score_delta_vs_full,omitempty"`
 }
 
 // kvQuantScenario A/Bs the KV page precisions (WithKVQuant) on the fleet
@@ -184,6 +215,11 @@ func main() {
 	fleetPages := flag.Int("fleetpages", 24, "fleet scenario per-engine KV page budget")
 	fleetMaxNew := flag.Int("fleetmaxnew", 96, "fleet scenario decode budget per request (KV growth drives the page pressure)")
 	kvQuant := flag.String("kvquant", "", "comma-separated KV quant methods for the page-pressure A/B scenario, e.g. fp32,int8,int4 (empty disables)")
+	sparse := flag.String("sparse", "", "comma-separated topK page budgets for the long-context sparse decode scenario, e.g. 8,32 (empty disables)")
+	sparseCtx := flag.Int("sparsectx", 3072, "sparse scenario prompt length in tokens (prompt+decode is capped by the tiny model's 4096 max sequence)")
+	sparseMaxNew := flag.Int("sparsemaxnew", 64, "sparse scenario decode budget")
+	sparsePageTokens := flag.Int("sparsepagetokens", 16, "sparse scenario KV page size in tokens")
+	sparseReps := flag.Int("sparsereps", 3, "serving repetitions per sparse setting (interleaved; the best decode rate is reported)")
 	kvQuantReps := flag.Int("kvquantreps", 5, "serving repetitions per KV quant method (interleaved; the best-throughput rep is reported)")
 	kvQuantReqs := flag.Int("kvquantreqs", 32, "KV quant scenario concurrent requests")
 	kvQuantMaxNew := flag.Int("kvquantmaxnew", 24, "KV quant scenario decode budget per request")
@@ -283,6 +319,14 @@ func main() {
 			fatal(err)
 		}
 		rep.KVQuant = sc
+	}
+
+	if strings.TrimSpace(*sparse) != "" {
+		sc, err := runSparseScenario(*sparse, *sparseReps, *sparseCtx, *sparseMaxNew, *sparsePageTokens, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Sparse = sc
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -739,6 +783,140 @@ func runKVQuantScenario(methodSpec string, reps, n, maxNew, batch, pages, pageTo
 		sc.Methods = append(sc.Methods, run)
 		fmt.Fprintf(os.Stderr, "kvquant: %-5s budget %3d pages (%.2fx)   %7.1f tok/s (%.2fx)   ttft p50 %6.1fms   preempt %3d   peak %3d   goodput %.2f\n",
 			name, run.PageBudget, run.CapacityX, run.TokensPerSec, run.SpeedupVsFP32, run.TTFTP50Ms, run.Preemptions, run.PeakKVPages, run.SLOGoodput)
+	}
+	return sc, nil
+}
+
+// runSparseScenario serves one long-context request through a full-attention
+// server and one sparse server per topK page budget, interleaved across
+// repetitions with the best decode rate kept (the scheduler is deterministic;
+// only wall time varies — same estimator as the KV quant scenario). Decode
+// tokens/s spans first token to finish: prefill is dense and identical under
+// every setting, so the decode window is exactly where page selection pays.
+// Accuracy runs once per budget on the shared evaluator at 512-token prompts:
+// recall is the true attention mass the selected pages carried, and task
+// score is priced against a loose-topK run of the same samples (topK at or
+// above the resident page count reproduces the dense baseline bit-for-bit).
+func runSparseScenario(topKSpec string, reps, ctxLen, maxNew, pageTokens int, seed uint64) (*sparseScenario, error) {
+	const vocab = 512
+	prompt := make([]int, ctxLen)
+	for i := range prompt {
+		prompt[i] = int((uint64(i)*2654435761 + seed) % uint64(vocab))
+	}
+	var topKs []int
+	for _, spec := range strings.Split(topKSpec, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		k, err := strconv.Atoi(spec)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad sparse topK %q", spec)
+		}
+		topKs = append(topKs, k)
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	sc := &sparseScenario{
+		Description:  "Quest-style sparse decode vs full attention on one long-context request. The prompt prefills densely (chunked, identical under every setting); decode then reads either every resident KV page or only the topK most critical pages per (layer, kv-head), scored from per-page key min/max summaries. decode_tokens_per_sec spans first token to finish; pages_read_frac is the share of resident pages decode actually touched. recall/agreement/task_score come from the shared evaluator at 512-token prompts: recall is the dense attention mass the selected pages carried, task_score_delta_vs_full prices the skipped pages against a loose-topK (bit-identical dense) run.",
+		PromptTokens: ctxLen,
+		MaxNew:       maxNew,
+		PageTokens:   pageTokens,
+		PromptPages:  (ctxLen + pageTokens - 1) / pageTokens,
+	}
+
+	serveOnce := func(topK int) (sparseRun, error) {
+		srv, err := rethinkkv.NewServer(
+			rethinkkv.WithSeed(seed),
+			rethinkkv.WithMaxNewTokens(maxNew),
+			rethinkkv.WithMaxBatch(1),
+			rethinkkv.WithPageTokens(pageTokens),
+			rethinkkv.WithPrefillChunk(256),
+			rethinkkv.WithSparseAttention(topK),
+		)
+		if err != nil {
+			return sparseRun{}, err
+		}
+		defer srv.Close()
+		if _, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt}); err != nil {
+			return sparseRun{}, err
+		}
+		if err := srv.Drain(context.Background()); err != nil {
+			return sparseRun{}, err
+		}
+		outs := srv.Outcomes()
+		st := srv.Stats()
+		if len(outs) != 1 {
+			return sparseRun{}, fmt.Errorf("sparse scenario: %d outcomes, want 1", len(outs))
+		}
+		o := outs[0]
+		run := sparseRun{TopK: topK, PagesSelected: st.SparsePagesSelected, PagesTotal: st.SparsePagesTotal}
+		if o.RespLen > 1 && o.Finish > o.FirstToken {
+			run.DecodeTokPerS = float64(o.RespLen-1) / (o.Finish - o.FirstToken)
+		}
+		if run.PagesTotal > 0 {
+			run.PagesReadFrac = float64(run.PagesSelected) / float64(run.PagesTotal)
+		}
+		return run, nil
+	}
+
+	// Interleave full attention (topK 0) with every sparse budget so
+	// machine-level noise lands on all settings alike.
+	settings := append([]int{0}, topKs...)
+	best := make(map[int]sparseRun, len(settings))
+	for r := 0; r < reps; r++ {
+		for _, k := range settings {
+			run, err := serveOnce(k)
+			if err != nil {
+				return nil, err
+			}
+			if prev, ok := best[k]; !ok || run.DecodeTokPerS > prev.DecodeTokPerS {
+				best[k] = run
+			}
+		}
+	}
+	sc.Full = best[0]
+
+	// Accuracy: one loose-topK run per sample is the dense baseline (bit-
+	// identical to full attention), then each budget is scored against it.
+	ev, err := rethinkkv.NewEvaluator(rethinkkv.WithSeed(seed), rethinkkv.WithContSteps(16))
+	if err != nil {
+		return nil, err
+	}
+	samples := ev.LongBenchSamples(4, 512, seed)
+	refs := make([]*rethinkkv.Reference, len(samples))
+	fullScore := 0.0
+	for i, s := range samples {
+		refs[i] = ev.Baseline(s)
+		r, err := ev.EvaluateSparse(refs[i], 1<<20) // topK >= resident pages: dense
+		if err != nil {
+			return nil, err
+		}
+		fullScore += r.Score / float64(len(samples))
+	}
+	sc.Full.TaskScore = fullScore
+	fmt.Fprintf(os.Stderr, "sparse: full  decode %7.1f tok/s   %d prompt pages   score %5.1f\n",
+		sc.Full.DecodeTokPerS, sc.PromptPages, fullScore)
+
+	for _, k := range topKs {
+		run := best[k]
+		if sc.Full.DecodeTokPerS > 0 {
+			run.SpeedupVsFull = run.DecodeTokPerS / sc.Full.DecodeTokPerS
+		}
+		for _, ref := range refs {
+			r, err := ev.EvaluateSparse(ref, k)
+			if err != nil {
+				return nil, err
+			}
+			run.Recall += r.Recall / float64(len(refs))
+			run.Agreement += r.Agreement / float64(len(refs))
+			run.TaskScore += r.Score / float64(len(refs))
+		}
+		run.TaskScoreDelta = run.TaskScore - fullScore
+		sc.TopK = append(sc.TopK, run)
+		fmt.Fprintf(os.Stderr, "sparse: topK %-4d decode %7.1f tok/s (%.2fx)   pages read %4.1f%%   recall %.3f   agreement %.3f   score %5.1f (delta %+.1f)\n",
+			k, run.DecodeTokPerS, run.SpeedupVsFull, 100*run.PagesReadFrac, run.Recall, run.Agreement, run.TaskScore, run.TaskScoreDelta)
 	}
 	return sc, nil
 }

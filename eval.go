@@ -1,6 +1,8 @@
 package rethinkkv
 
 import (
+	"fmt"
+
 	"rethinkkv/internal/accuracy"
 	"rethinkkv/internal/model"
 	"rethinkkv/internal/workload"
@@ -80,6 +82,26 @@ func (e *Evaluator) Evaluate(ref *Reference, method string) (EvalResult, error) 
 		}
 	}
 	return e.ev.Evaluate(ref, method), nil
+}
+
+// SparseEvalResult is EvalResult plus the sparse decode plane's own
+// diagnostics: attention-mass recall of the selected pages and the
+// page-selection tallies.
+type SparseEvalResult = accuracy.SparseResult
+
+// EvaluateSparse scores the live sparse decode plane (WithSparseAttention)
+// at the given per-head page budget: dense prefill — exactly what the
+// serving engines run — then a greedy continuation reading only the topK
+// most critical KV pages per attention. The cache itself stays lossless, so
+// retention and fidelity are 1 and the whole accuracy cost appears in
+// continuation agreement and task score; Recall reports how much true
+// attention mass the selected pages carried. topK at or above the resident
+// page count reproduces the dense baseline exactly.
+func (e *Evaluator) EvaluateSparse(ref *Reference, topK int) (SparseEvalResult, error) {
+	if topK <= 0 {
+		return SparseEvalResult{}, fmt.Errorf("%w: sparse attention topK must be positive, got %d", ErrInvalidOption, topK)
+	}
+	return e.ev.EvaluateSparse(ref, topK, 0), nil
 }
 
 // CollectNegatives implements the paper's Algorithm 1: the samples benign

@@ -83,6 +83,8 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
 	case cfg.prefillChunk <= 0:
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	case cfg.sparseTopK < 0:
+		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
 	}
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
@@ -101,6 +103,7 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		return nil, err
 	}
 	m := model.New(model.Tiny(), cfg.seed)
+	m.SetSparseTopK(cfg.sparseTopK)
 	pool, err := fleet.New(m, fleet.Config{
 		Engines: n,
 		Router:  r,

@@ -224,6 +224,85 @@ func (e *Evaluator) Evaluate(ref *Reference, methodName string) Result {
 	return r
 }
 
+// SparseResult is Result plus the sparse decode plane's own diagnostics:
+// the attention-mass recall of the selected pages and the page-selection
+// tallies accumulated over the continuation.
+type SparseResult struct {
+	Result
+	// Recall is the mean share of true (dense) attention mass the selected
+	// pages carried, in (0, 1]; 1 when sparsity never dropped a page.
+	Recall float64
+	// PagesSelected / PagesTotal are the continuation's page-selection
+	// tallies across every (layer, head) sparse attention.
+	PagesSelected int64
+	PagesTotal    int64
+}
+
+// EvaluateSparse scores the live sparse decode plane (WithSparseAttention)
+// at the given page budget: dense prefill into a summaries-enabled paged
+// cache — exactly what the serving engines do — then a greedy continuation
+// under topK page selection with the attention-mass recall probe on. The
+// cache itself is lossless (full-precision pages, nothing evicted), so
+// retention and fidelity stay 1 and the whole accuracy cost shows up in
+// continuation agreement: sparsity degrades what decode *reads*, not what
+// the cache *holds*. pageTokens <= 0 defaults to 16, matching the serving
+// default.
+func (e *Evaluator) EvaluateSparse(ref *Reference, topK, pageTokens int) SparseResult {
+	if topK <= 0 {
+		panic(fmt.Sprintf("accuracy: sparse evaluation needs positive topK, got %d", topK))
+	}
+	if pageTokens <= 0 {
+		pageTokens = 16
+	}
+	s := ref.Sample
+	shape := e.m.CacheShape()
+	cache := kvcache.NewPagedKVQuant(shape, pageTokens, 0, 0)
+	cache.EnableKeySummaries()
+	ws := e.m.NewWorkspace()
+	// Prefill stays dense (the model's sparse branch only engages on the
+	// decode path, but the model-level prefill loop *is* decode steps —
+	// keep topK off until the continuation).
+	res := e.m.PrefillInto(ws, s.Prompt, cache)
+	retention, fidelity := e.measureCritical(ref, cache)
+
+	prev := e.m.SparseTopK()
+	e.m.SetSparseTopK(topK)
+	ws.SetRecallProbe(true)
+	cont := make([]int, 0, e.cfg.ContSteps)
+	logits, pos := res.Logits, len(s.Prompt)
+	for i := 0; i < e.cfg.ContSteps; i++ {
+		next := tensor.Argmax(logits)
+		cont = append(cont, next)
+		sr := e.m.ForwardInto(ws, next, pos, cache)
+		logits = sr.Logits
+		pos++
+	}
+	ws.SetRecallProbe(false)
+	e.m.SetSparseTopK(prev)
+	mass, cnt := ws.TakeRecall()
+	sel, tot := ws.TakeSparseStats()
+
+	agree := tokenAgreement(ref.Continuation, cont)
+	hSim := tensor.CosineSim(ref.Hidden, res.Hidden)
+	if hSim < 0 {
+		hSim = 0
+	}
+	r := Result{
+		Sample: s, Method: fmt.Sprintf("sparse-k%d", topK),
+		Retention: retention, Fidelity: fidelity,
+		Agreement: agree, HiddenSim: hSim,
+		F1:      textmetrics.TokenF1(cont, ref.Continuation),
+		EditSim: textmetrics.EditSimilarity(cont, ref.Continuation),
+	}
+	quality := 0.5*agree + 0.5*r.F1
+	r.Score = taskScore(s, spanCoverages(e, ref, cache), quality, hSim)
+	recall := 1.0
+	if cnt > 0 {
+		recall = mass / float64(cnt)
+	}
+	return SparseResult{Result: r, Recall: recall, PagesSelected: sel, PagesTotal: tot}
+}
+
 // measureCritical computes retention and fidelity over all critical
 // positions, averaged across layers and heads.
 func (e *Evaluator) measureCritical(ref *Reference, cache kvcache.Cache) (retention, fidelity float64) {

@@ -195,3 +195,40 @@ func TestBaseScoresMatchTable7Scale(t *testing.T) {
 		t.Fatal("summarization base should match Table 7 baseline")
 	}
 }
+
+// TestEvaluateSparse pins the sparse decode plane's scoring: at topK >= pages
+// it is the dense baseline (perfect agreement and recall, selection counters
+// full); at a tight budget it reports real sparsity — recall strictly inside
+// (0,1), fewer pages selected than resident — while the lossless cache keeps
+// retention and fidelity at 1.
+func TestEvaluateSparse(t *testing.T) {
+	m := tinyModel()
+	e := NewEvaluator(m, Config{ContSteps: 8})
+	s := suite(3)[0]
+	ref := e.RunBaseline(s)
+
+	loose := e.EvaluateSparse(ref, 1<<20, 4)
+	if loose.Agreement != 1 {
+		t.Fatalf("topK >= pages agreement = %v, want 1 (bit-identical to dense)", loose.Agreement)
+	}
+	if loose.Recall != 1 {
+		t.Fatalf("topK >= pages recall = %v, want 1", loose.Recall)
+	}
+	if loose.PagesSelected == 0 || loose.PagesSelected != loose.PagesTotal {
+		t.Fatalf("topK >= pages counters (sel=%d, tot=%d), want full selection", loose.PagesSelected, loose.PagesTotal)
+	}
+
+	tight := e.EvaluateSparse(ref, 2, 4)
+	if tight.Retention != 1 || tight.Fidelity < 0.999 {
+		t.Fatalf("sparse retention/fidelity = %v/%v, want 1/1 (cache is lossless)", tight.Retention, tight.Fidelity)
+	}
+	if tight.Recall <= 0 || tight.Recall >= 1 {
+		t.Fatalf("tight recall = %v, want inside (0,1)", tight.Recall)
+	}
+	if tight.PagesSelected == 0 || tight.PagesSelected >= tight.PagesTotal {
+		t.Fatalf("tight counters (sel=%d, tot=%d) show no real sparsity", tight.PagesSelected, tight.PagesTotal)
+	}
+	if tight.Recall > loose.Recall {
+		t.Fatalf("recall %v at topK=2 exceeds %v at full budget", tight.Recall, loose.Recall)
+	}
+}

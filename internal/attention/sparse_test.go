@@ -1,0 +1,342 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rethinkkv/internal/kvcache"
+)
+
+// sparseCache builds a summaries-enabled paged cache (fp32 when bits==0)
+// holding n pseudo-random tokens.
+func sparseCache(n, pageTokens, bits int, seed int64) *kvcache.PagedKV {
+	shape := kvcache.Shape{Layers: 1, KVHeads: 2, HeadDim: 16}
+	c := kvcache.NewPagedKVQuant(shape, pageTokens, 0, bits)
+	c.EnableKeySummaries()
+	stride := shape.KVHeads * shape.HeadDim
+	r := rand.New(rand.NewSource(seed))
+	k := make([]float32, stride)
+	v := make([]float32, stride)
+	for t := 0; t < n; t++ {
+		for i := range k {
+			k[i] = float32(r.NormFloat64())
+			v[i] = float32(r.NormFloat64())
+		}
+		c.AppendFlat(0, k, v)
+	}
+	return c
+}
+
+func TestSelectTopPagesPolicy(t *testing.T) {
+	sel := make([]int32, 8)
+	// Tail page always selected even when it scores worst.
+	n := SelectTopPages(sel, []float64{5, 4, 3, 2, -10}, 3)
+	if n != 3 || sel[0] != 0 || sel[1] != 1 || sel[2] != 4 {
+		t.Fatalf("got %v (n=%d), want [0 1 4]", sel[:n], n)
+	}
+	// Ties break toward the lower page index; output ascending.
+	n = SelectTopPages(sel, []float64{1, 7, 7, 7, 0}, 3)
+	if n != 3 || sel[0] != 1 || sel[1] != 2 || sel[2] != 4 {
+		t.Fatalf("tie-break: got %v (n=%d), want [1 2 4]", sel[:n], n)
+	}
+	// topK >= pages selects everything in order.
+	n = SelectTopPages(sel, []float64{3, 1, 2}, 9)
+	if n != 3 || sel[0] != 0 || sel[1] != 1 || sel[2] != 2 {
+		t.Fatalf("full-k: got %v (n=%d), want [0 1 2]", sel[:n], n)
+	}
+	if SelectTopPages(sel, nil, 4) != 0 {
+		t.Fatal("empty scores selected pages")
+	}
+}
+
+// CriticalityStrided over kvcache's flat summary layout must equal the
+// offline PageSummary.Criticality over the same page.
+func TestCriticalityStridedMatchesOffline(t *testing.T) {
+	c := sparseCache(37, 16, 0, 5)
+	shape := c.Shape()
+	d := shape.HeadDim
+	summs := c.KeySummaries(0)
+	_, _, stride := c.KVPages(0)
+	r := rand.New(rand.NewSource(6))
+	q := make([]float32, d)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	for head := 0; head < shape.KVHeads; head++ {
+		keys, _ := c.Seq(0, head)
+		for p := range summs {
+			lo, hi := p*16, (p+1)*16
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			want := SummarizePage(keys[lo:hi]).Criticality(q)
+			got := CriticalityStrided(q, summs[p], head*d, stride)
+			if got != want {
+				t.Fatalf("head %d page %d: %v != offline %v", head, p, got, want)
+			}
+		}
+	}
+}
+
+// At topK >= pages the sparse kernels must be bit-identical to their dense
+// siblings — the delegation that makes "sparsity off" exactly "full
+// attention".
+func TestSparseFullKBitIdenticalToDense(t *testing.T) {
+	for _, bits := range []int{0, 8, 4} {
+		t.Run(fmt.Sprintf("bits=%d", bits), func(t *testing.T) {
+			c := sparseCache(53, 16, bits, int64(40+bits))
+			shape := c.Shape()
+			d := shape.HeadDim
+			summs := c.KeySummaries(0)
+			r := rand.New(rand.NewSource(8))
+			q := make([]float32, d)
+			for i := range q {
+				q[i] = float32(r.NormFloat64())
+			}
+			want := make([]float32, d)
+			got := make([]float32, d)
+			vScratch := make([]float32, d)
+			var sc SparseScratch
+			for head := 0; head < shape.KVHeads; head++ {
+				off := head * d
+				for _, topK := range []int{4, 99} { // == pages, > pages
+					if bits == 0 {
+						kp, vp, stride := c.KVPages(0)
+						PagedStrided(want, q, kp, vp, off, stride)
+						_, nSel := PagedStridedSparse(got, q, kp, vp, summs, off, stride, topK, &sc)
+						if nSel != len(kp) {
+							t.Fatalf("topK=%d selected %d of %d", topK, nSel, len(kp))
+						}
+					} else {
+						pages, stride := c.QuantPages(0)
+						PagedStridedQuant(want, q, vScratch, pages, bits, off, stride, shape.KVHeads, head)
+						_, nSel := PagedStridedQuantSparse(got, q, vScratch, pages, summs, bits, off, stride, shape.KVHeads, head, topK, &sc)
+						if nSel != len(pages) {
+							t.Fatalf("topK=%d selected %d of %d", topK, nSel, len(pages))
+						}
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Fatalf("head %d topK=%d: out[%d]=%g, dense %g", head, topK, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// The live sparse kernel and the offline Quest must agree exactly on fp32
+// pages: same summaries (incremental fold vs one-shot SummarizePage), same
+// selection, same online-softmax arithmetic — one policy across both planes.
+func TestPagedStridedSparseMatchesOfflineQuest(t *testing.T) {
+	c := sparseCache(61, 16, 0, 13)
+	shape := c.Shape()
+	d := shape.HeadDim
+	summs := c.KeySummaries(0)
+	kp, vp, stride := c.KVPages(0)
+	r := rand.New(rand.NewSource(14))
+	q := make([]float32, d)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	var sc SparseScratch
+	out := make([]float32, d)
+	for head := 0; head < shape.KVHeads; head++ {
+		keys, vals := c.Seq(0, head)
+		var pk, pv [][][]float32
+		for i := 0; i < len(keys); i += 16 {
+			end := i + 16
+			if end > len(keys) {
+				end = len(keys)
+			}
+			pk = append(pk, keys[i:end])
+			pv = append(pv, vals[i:end])
+		}
+		for _, topK := range []int{1, 2, 3} {
+			want, _, res := Quest(q, pk, pv, topK)
+			_, nSel := PagedStridedSparse(out, q, kp, vp, summs, head*d, stride, topK, &sc)
+			if nSel != res.PagesSelected {
+				t.Fatalf("head %d topK=%d: live selected %d, offline %d", head, topK, nSel, res.PagesSelected)
+			}
+			for j := range out {
+				if out[j] != want[j] {
+					t.Fatalf("head %d topK=%d: out[%d]=%g, Quest %g", head, topK, j, out[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// QuestWithSummaries over precomputed summaries must reproduce Quest
+// exactly — the precompute is a cost fix, not a behavior change.
+func TestQuestWithSummariesMatchesQuest(t *testing.T) {
+	q, keys, vals := randSeq(31, 73, 32)
+	var pk, pv [][][]float32
+	for i := 0; i < len(keys); i += 16 {
+		end := i + 16
+		if end > len(keys) {
+			end = len(keys)
+		}
+		pk = append(pk, keys[i:end])
+		pv = append(pv, vals[i:end])
+	}
+	summs := SummarizePages(pk)
+	for topK := 1; topK <= len(pk)+1; topK++ {
+		a, atr, ares := Quest(q, pk, pv, topK)
+		b, btr, bres := QuestWithSummaries(q, pk, pv, summs, topK)
+		if ares != bres || atr != btr {
+			t.Fatalf("topK=%d: result/traffic diverge: %+v/%+v vs %+v/%+v", topK, ares, atr, bres, btr)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("topK=%d: out[%d] %g != %g", topK, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// With attention mass concentrated on one early page, a tiny topK must
+// still capture nearly all of it (selection finds the hot page, tail
+// protection keeps the recent one).
+func TestSparseSelectionFindsConcentratedMass(t *testing.T) {
+	const n, pageTokens = 64, 16
+	shape := kvcache.Shape{Layers: 1, KVHeads: 1, HeadDim: 8}
+	c := kvcache.NewPagedKV(shape, pageTokens)
+	c.EnableKeySummaries()
+	d := shape.HeadDim
+	q := make([]float32, d)
+	q[0] = 8
+	k := make([]float32, d)
+	v := make([]float32, d)
+	r := rand.New(rand.NewSource(3))
+	for t0 := 0; t0 < n; t0++ {
+		for i := range k {
+			k[i] = 0.01 * float32(r.NormFloat64())
+			v[i] = float32(r.NormFloat64())
+		}
+		if t0 == 20 { // page 1 holds the aligned key
+			copy(k, q)
+		}
+		c.AppendFlat(0, k, v)
+	}
+	kp, vp, stride := c.KVPages(0)
+	dense := make([]float32, d)
+	PagedStrided(dense, q, kp, vp, 0, stride)
+	out := make([]float32, d)
+	var sc SparseScratch
+	_, nSel := PagedStridedSparse(out, q, kp, vp, c.KeySummaries(0), 0, stride, 2, &sc)
+	if nSel != 2 {
+		t.Fatalf("selected %d pages, want 2", nSel)
+	}
+	for j := range out {
+		if diff := math.Abs(float64(out[j] - dense[j])); diff > 1e-3 {
+			t.Fatalf("out[%d] drifted %g from dense %g", j, diff, dense[j])
+		}
+	}
+}
+
+// Both sparse kernels run the hot decode path at zero allocations once the
+// scratch is warm (pinned by make ci's bench-smoke).
+func TestSparseAttentionZeroAlloc(t *testing.T) {
+	var sc SparseScratch
+	fp := sparseCache(128, 16, 0, 51)
+	shape := fp.Shape()
+	d := shape.HeadDim
+	q := make([]float32, d)
+	out := make([]float32, d)
+	vScratch := make([]float32, d)
+	kp, vp, stride := fp.KVPages(0)
+	fsumms := fp.KeySummaries(0)
+	sc.Ensure(len(kp))
+	if n := testing.AllocsPerRun(100, func() {
+		PagedStridedSparse(out, q, kp, vp, fsumms, 0, stride, 3, &sc)
+	}); n != 0 {
+		t.Fatalf("PagedStridedSparse allocated %.1f per run, want 0", n)
+	}
+	qc := sparseCache(128, 16, 4, 52)
+	pages, qStride := qc.QuantPages(0)
+	qsumms := qc.KeySummaries(0)
+	if n := testing.AllocsPerRun(100, func() {
+		PagedStridedQuantSparse(out, q, vScratch, pages, qsumms, 4, 0, qStride, shape.KVHeads, 0, 3, &sc)
+	}); n != 0 {
+		t.Fatalf("PagedStridedQuantSparse allocated %.1f per run, want 0", n)
+	}
+}
+
+// BenchmarkPagedStridedSparse prices sparse decode against the dense
+// kernels at a long-context shape (8k tokens, 16-token pages = 512 pages):
+// the dense kernels stream every token, the sparse ones score 512 summaries
+// and stream topK pages. The gap is the O(ctx) → O(k·page) win.
+func BenchmarkPagedStridedSparse(b *testing.B) {
+	const n, pageTokens = 8192, 16
+	var sc SparseScratch
+	fp := sparseCache(n, pageTokens, 0, 61)
+	shape := fp.Shape()
+	d := shape.HeadDim
+	r := rand.New(rand.NewSource(62))
+	q := make([]float32, d)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	out := make([]float32, d)
+	vScratch := make([]float32, d)
+	kp, vp, stride := fp.KVPages(0)
+	fsumms := fp.KeySummaries(0)
+	b.Run("full/n=8192", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PagedStrided(out, q, kp, vp, 0, stride)
+		}
+	})
+	for _, topK := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("sparse/n=8192/k=%d", topK), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PagedStridedSparse(out, q, kp, vp, fsumms, 0, stride, topK, &sc)
+			}
+		})
+	}
+	qc := sparseCache(n, pageTokens, 8, 63)
+	pages, qStride := qc.QuantPages(0)
+	qsumms := qc.KeySummaries(0)
+	b.Run("quant-full/int8/n=8192", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PagedStridedQuant(out, q, vScratch, pages, 8, 0, qStride, shape.KVHeads, 0)
+		}
+	})
+	b.Run("quant-sparse/int8/n=8192/k=32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PagedStridedQuantSparse(out, q, vScratch, pages, qsumms, 8, 0, qStride, shape.KVHeads, 0, 32, &sc)
+		}
+	})
+}
+
+// BenchmarkQuestSummaries prices satellite fix #2: Quest()'s historical
+// per-call SummarizePage recompute vs QuestWithSummaries over summaries
+// built once — the difference is the O(pages·page·d) per query the offline
+// experiments were paying for free.
+func BenchmarkQuestSummaries(b *testing.B) {
+	q, keys, vals := randSeq(71, 4096, 64)
+	var pk, pv [][][]float32
+	for i := 0; i < len(keys); i += 16 {
+		end := i + 16
+		if end > len(keys) {
+			end = len(keys)
+		}
+		pk = append(pk, keys[i:end])
+		pv = append(pv, vals[i:end])
+	}
+	const topK = 16
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Quest(q, pk, pv, topK)
+		}
+	})
+	summs := SummarizePages(pk)
+	b.Run("precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			QuestWithSummaries(q, pk, pv, summs, topK)
+		}
+	})
+}

@@ -232,6 +232,36 @@ func StepAll(pool *WorkspacePool, sessions []*StepSession) []int {
 	return toks
 }
 
+// StepStats accumulates per-step counters a scheduler aggregates across its
+// serve loop. Currently: sparse attention's page-selection tallies, summed
+// over every (layer, head) attention the step ran. Both stay zero when
+// sparsity is off or never engaged.
+type StepStats struct {
+	SparsePagesSelected int64
+	SparsePagesTotal    int64
+}
+
+// drainWorkspace moves a pooled workspace's sparse counters into the stats
+// (or discards them when stats is nil). Pooled workspaces are shared across
+// sessions, so counters must never survive a step — a later borrower would
+// inherit them.
+func (st *StepStats) drainWorkspace(ws *model.Workspace) {
+	sel, tot := ws.TakeSparseStats()
+	if st != nil {
+		st.SparsePagesSelected += sel
+		st.SparsePagesTotal += tot
+	}
+}
+
+// drainBatch is drainWorkspace over every lane of a pooled step batch.
+func (st *StepStats) drainBatch(sb *StepBatch) {
+	sel, tot := sb.bw.TakeSparseStats()
+	if st != nil {
+		st.SparsePagesSelected += sel
+		st.SparsePagesTotal += tot
+	}
+}
+
 // StepAllInto decodes exactly one token on every session, writing the
 // emitted tokens into toks (index-aligned; len(toks) must equal
 // len(sessions)). Sessions must be distinct and own distinct caches; the
@@ -247,6 +277,13 @@ func StepAll(pool *WorkspacePool, sessions []*StepSession) []int {
 // sessions over heterogeneous models fall back to one goroutine per
 // session with workspaces acquired in a single pool pass.
 func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
+	StepAllStatsInto(pool, sessions, toks, nil)
+}
+
+// StepAllStatsInto is StepAllInto with per-step counters accumulated into
+// stats (nil discards them — pooled workspace counters are always drained
+// so no later borrower inherits a stale tally).
+func StepAllStatsInto(pool *WorkspacePool, sessions []*StepSession, toks []int, stats *StepStats) {
 	if len(toks) != len(sessions) {
 		panic("core: StepAllInto toks length mismatch")
 	}
@@ -257,6 +294,7 @@ func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
 	case 1:
 		ws := pool.Get()
 		toks[0] = sessions[0].Step(ws)
+		stats.drainWorkspace(ws)
 		pool.Put(ws)
 		return
 	}
@@ -267,7 +305,7 @@ func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
 	m := pool.m
 	for _, s := range sessions {
 		if s.m != m {
-			stepHeterogeneous(pool, sessions, toks)
+			stepHeterogeneous(pool, sessions, toks, stats)
 			return
 		}
 	}
@@ -286,6 +324,7 @@ func StepAllInto(pool *WorkspacePool, sessions []*StepSession, toks []int) {
 		s.next = tensor.Argmax(results[i].Logits)
 		s.pos++
 	}
+	stats.drainBatch(sb)
 	pool.PutBatch(sb)
 }
 
@@ -312,8 +351,14 @@ type PrefillChunk struct {
 // Sessions not sharing the pool's model fall back to per-goroutine steps
 // with the chunk fused separately.
 func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunk *PrefillChunk) int {
+	return StepMixedStatsInto(pool, sessions, toks, chunk, nil)
+}
+
+// StepMixedStatsInto is StepMixedInto with per-step counters accumulated
+// into stats (nil discards them), mirroring StepAllStatsInto.
+func StepMixedStatsInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunk *PrefillChunk, stats *StepStats) int {
 	if chunk == nil {
-		StepAllInto(pool, sessions, toks)
+		StepAllStatsInto(pool, sessions, toks, stats)
 		return -1
 	}
 	if len(toks) != len(sessions) {
@@ -324,7 +369,7 @@ func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chu
 		if s.m != m {
 			// Heterogeneous sessions cannot share the pooled fused pass:
 			// step them per-goroutine, then run the chunk on its own.
-			stepHeterogeneous(pool, sessions, toks)
+			stepHeterogeneous(pool, sessions, toks, stats)
 			sessions = nil
 			break
 		}
@@ -350,6 +395,7 @@ func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chu
 		s.next = tensor.Argmax(results[i].Logits)
 		s.pos++
 	}
+	stats.drainBatch(sb)
 	pool.PutBatch(sb)
 	if chunk.Final {
 		return tensor.Argmax(chunkRes.Logits)
@@ -361,7 +407,7 @@ func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chu
 // session, workspaces acquired up front in one pool pass. The models must
 // share the pool model's shape (pooled workspaces are sized by it); each
 // Step runs its session's own weights.
-func stepHeterogeneous(pool *WorkspacePool, sessions []*StepSession, toks []int) {
+func stepHeterogeneous(pool *WorkspacePool, sessions []*StepSession, toks []int, stats *StepStats) {
 	wss := pool.getN(len(sessions))
 	var wg sync.WaitGroup
 	for i, s := range sessions {
@@ -372,5 +418,8 @@ func stepHeterogeneous(pool *WorkspacePool, sessions []*StepSession, toks []int)
 		}(i, s)
 	}
 	wg.Wait()
+	for _, ws := range wss {
+		stats.drainWorkspace(ws)
+	}
 	pool.putN(wss)
 }

@@ -355,7 +355,9 @@ func (p *Pool) run(f *flight, ch <-chan sched.Token) {
 		p.mu.Unlock()
 
 		// Serialize prompt + emitted tokens and re-admit; the target's
-		// chunked prefill rebuilds the KV cache bit-identically.
+		// chunked prefill rebuilds the KV cache bit-identically. Replay
+		// marks the emitted suffix so a sparse-attention target re-advances
+		// it through decode steps instead (dense targets ignore it).
 		cont := make([]int, 0, len(f.prompt)+len(f.generated))
 		cont = append(cont, f.prompt...)
 		cont = append(cont, f.generated...)
@@ -364,7 +366,8 @@ func (p *Pool) run(f *flight, ch <-chan sched.Token) {
 		if predRem < 1 {
 			predRem = 1
 		}
-		creq := sched.Request{ID: f.key, Prompt: cont, MaxNew: rem, Predicted: predRem, Arrival: f.arrival}
+		creq := sched.Request{ID: f.key, Prompt: cont, MaxNew: rem, Predicted: predRem,
+			Arrival: f.arrival, Replay: len(f.generated)}
 		nch, err := p.engines[target].Submit(f.ctx, creq)
 		if err != nil {
 			// Headroom vanished between the hook and the re-admission;

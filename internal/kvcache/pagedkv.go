@@ -45,6 +45,11 @@ type PagedKV struct {
 	// stay empty.
 	qbits  int
 	qPages [][]QuantPage // [layer][page], only when qbits != 0
+	// summaries turns on per-page key min/max metadata for Quest-style
+	// sparse attention (see summary.go); kSumms[layer][page] holds 2*stride
+	// floats (min block, then max block), aligned with the page index.
+	summaries bool
+	kSumms    [][][]float32
 }
 
 // PageReader is the zero-copy read path over page-granular flat storage.
@@ -144,12 +149,24 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 	}
 	if c.qbits != 0 {
 		p := c.qPageForAppend(layer)
+		var summ []float32
+		init := false
+		if c.summaries {
+			summ = c.kSumms[layer][len(c.qPages[layer])-1]
+			init = p.Tokens(c.shape.KVHeads) == 0
+		}
+		d, stride := c.shape.HeadDim, c.stride()
 		for h := 0; h < c.shape.KVHeads; h++ {
-			if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
+			if len(k[h]) != d || len(v[h]) != d {
 				panic("kvcache: head dim mismatch on append")
 			}
-			p.KCodes, p.KParams = quantAppendSlice(p.KCodes, p.KParams, k[h], c.qbits)
-			p.VCodes, p.VParams = quantAppendSlice(p.VCodes, p.VParams, v[h], c.qbits)
+			var smin, smax []float32
+			if summ != nil {
+				smin = summ[h*d : (h+1)*d]
+				smax = summ[stride+h*d : stride+(h+1)*d]
+			}
+			p.KCodes, p.KParams = quantAppendSlice(p.KCodes, p.KParams, k[h], c.qbits, smin, smax, init)
+			p.VCodes, p.VParams = quantAppendSlice(p.VCodes, p.VParams, v[h], c.qbits, nil, nil, false)
 		}
 		if layer == c.shape.Layers-1 {
 			c.appended++
@@ -157,9 +174,19 @@ func (c *PagedKV) Append(layer int, k, v [][]float32) {
 		return
 	}
 	last := c.pageForAppend(layer)
+	var summ []float32
+	init := false
+	if c.summaries {
+		summ = c.kSumms[layer][last]
+		init = len(c.keyPages[layer][last]) == 0
+	}
+	stride := c.stride()
 	for h := 0; h < c.shape.KVHeads; h++ {
 		if len(k[h]) != c.shape.HeadDim || len(v[h]) != c.shape.HeadDim {
 			panic("kvcache: head dim mismatch on append")
+		}
+		if summ != nil {
+			summUpdateSeg(summ, stride, h*c.shape.HeadDim, k[h], init)
 		}
 		c.keyPages[layer][last] = append(c.keyPages[layer][last], k[h]...)
 		c.valPages[layer][last] = append(c.valPages[layer][last], v[h]...)
@@ -190,6 +217,9 @@ func (c *PagedKV) AppendFlat(layer int, k, v []float32) {
 		return
 	}
 	last := c.pageForAppend(layer)
+	if c.summaries {
+		summUpdateSeg(c.kSumms[layer][last], c.stride(), 0, k, len(c.keyPages[layer][last]) == 0)
+	}
 	c.keyPages[layer][last] = append(c.keyPages[layer][last], k...)
 	c.valPages[layer][last] = append(c.valPages[layer][last], v...)
 	if layer == c.shape.Layers-1 {
@@ -227,9 +257,20 @@ func (c *PagedKV) AppendFlatN(layer, n int, k, v []float32) {
 	pageCap := c.pageTokens * stride
 	for len(k) > 0 {
 		last := c.pageForAppend(layer)
-		room := pageCap - len(c.keyPages[layer][last])
+		held := len(c.keyPages[layer][last])
+		room := pageCap - held
 		if room > len(k) {
 			room = len(k)
+		}
+		if c.summaries {
+			// Fold token by token: room is always a whole number of tokens
+			// (page capacity and the span are both multiples of stride), and
+			// the per-token fold makes the summary independent of how the
+			// span happens to split across pages.
+			summ := c.kSumms[layer][last]
+			for t := 0; t < room/stride; t++ {
+				summUpdateSeg(summ, stride, 0, k[t*stride:(t+1)*stride], held == 0 && t == 0)
+			}
 		}
 		c.keyPages[layer][last] = append(c.keyPages[layer][last], k[:room]...)
 		c.valPages[layer][last] = append(c.valPages[layer][last], v[:room]...)
@@ -252,6 +293,9 @@ func (c *PagedKV) pageForAppend(layer int) int {
 		}
 		c.keyPages[layer] = append(c.keyPages[layer], make([]float32, 0, c.pageTokens*stride))
 		c.valPages[layer] = append(c.valPages[layer], make([]float32, 0, c.pageTokens*stride))
+		if c.summaries {
+			c.summOpenPage(layer)
+		}
 	}
 	return len(c.keyPages[layer]) - 1
 }
@@ -338,6 +382,7 @@ func (c *PagedKV) ClonePrefix() *PagedKV {
 	}
 	if c.qbits != 0 {
 		n.qPages = make([][]QuantPage, c.shape.Layers)
+		partial := false
 		for l := range c.qPages {
 			n.qPages[l] = cloneQuantPages(c.qPages[l], c.shape.KVHeads, c.pageTokens)
 		}
@@ -345,11 +390,14 @@ func (c *PagedKV) ClonePrefix() *PagedKV {
 			n.shared = pages
 			if c.qPages[0][pages-1].Tokens(c.shape.KVHeads) < c.pageTokens {
 				n.shared = pages - 1 // last page was deep-copied
+				partial = true
 			}
 		}
+		c.cloneSummaries(n, partial)
 		return n
 	}
 	pageCap := c.pageTokens * c.stride()
+	partial := false
 	for l := range c.keyPages {
 		n.keyPages[l] = clonePages(c.keyPages[l], pageCap)
 		n.valPages[l] = clonePages(c.valPages[l], pageCap)
@@ -358,9 +406,25 @@ func (c *PagedKV) ClonePrefix() *PagedKV {
 		n.shared = pages
 		if len(c.keyPages[0][pages-1]) < pageCap {
 			n.shared = pages - 1 // last page was deep-copied
+			partial = true
 		}
 	}
+	c.cloneSummaries(n, partial)
 	return n
+}
+
+// cloneSummaries copies c's summary metadata onto clone n under the same
+// sharing rule as the KV pages themselves (partialTail mirrors whether the
+// last KV page was deep-copied).
+func (c *PagedKV) cloneSummaries(n *PagedKV, partialTail bool) {
+	if !c.summaries {
+		return
+	}
+	n.summaries = true
+	n.kSumms = make([][][]float32, c.shape.Layers)
+	for l := range c.kSumms {
+		n.kSumms[l] = cloneSummPages(c.kSumms[l], partialTail)
+	}
 }
 
 // clonePages shares full pages by reference and deep-copies a trailing

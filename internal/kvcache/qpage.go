@@ -89,8 +89,9 @@ func (c *PagedKV) qPageForAppend(layer int) *QuantPage {
 		}
 		// K and V carve halves of one backing array each (codes, params):
 		// page-open cost stays at the fp32 plane's two allocations per
-		// layer, and the sub-slices' capacities are pinned so appends can
-		// never grow one half into the other.
+		// layer (plus one summary slot when key summaries are on, exactly
+		// like the fp32 plane), and the sub-slices' capacities are pinned so
+		// appends can never grow one half into the other.
 		codeCap := c.pageTokens * c.stride() * c.qbits / 8
 		paramCap := c.pageTokens * c.shape.KVHeads * 2
 		codeBuf := make([]uint8, 2*codeCap)
@@ -101,19 +102,36 @@ func (c *PagedKV) qPageForAppend(layer int) *QuantPage {
 			KParams: paramBuf[0:0:paramCap],
 			VParams: paramBuf[paramCap : paramCap : 2*paramCap],
 		})
+		if c.summaries {
+			c.summOpenPage(layer)
+		}
 	}
 	return &c.qPages[layer][len(c.qPages[layer])-1]
 }
 
 // appendQuantToken quantizes one token's flat head-major K/V onto the
 // current quantized page. Steady-state cost is append-only into
-// pre-allocated page capacity: no allocation except at page open.
+// pre-allocated page capacity: no allocation except at page open. When key
+// summaries are on, each head's min/max fold runs over the dequantized key
+// values inside the encode loop, so the summary is a pure function of the
+// stored codes.
 func (c *PagedKV) appendQuantToken(layer int, k, v []float32) {
 	p := c.qPageForAppend(layer)
-	d := c.shape.HeadDim
+	d, stride := c.shape.HeadDim, c.stride()
+	var summ []float32
+	init := false
+	if c.summaries {
+		summ = c.kSumms[layer][len(c.qPages[layer])-1]
+		init = p.Tokens(c.shape.KVHeads) == 0
+	}
 	for h := 0; h < c.shape.KVHeads; h++ {
-		p.KCodes, p.KParams = quantAppendSlice(p.KCodes, p.KParams, k[h*d:(h+1)*d], c.qbits)
-		p.VCodes, p.VParams = quantAppendSlice(p.VCodes, p.VParams, v[h*d:(h+1)*d], c.qbits)
+		var smin, smax []float32
+		if summ != nil {
+			smin = summ[h*d : (h+1)*d]
+			smax = summ[stride+h*d : stride+(h+1)*d]
+		}
+		p.KCodes, p.KParams = quantAppendSlice(p.KCodes, p.KParams, k[h*d:(h+1)*d], c.qbits, smin, smax, init)
+		p.VCodes, p.VParams = quantAppendSlice(p.VCodes, p.VParams, v[h*d:(h+1)*d], c.qbits, nil, nil, false)
 	}
 }
 
@@ -123,7 +141,11 @@ func (c *PagedKV) appendQuantToken(layer int, k, v []float32) {
 // with — so encode and decode agree bit-for-bit. A constant slice (or one
 // whose range underflows float16) stores delta = 0 and all-zero codes,
 // dequantizing to lo, exactly like quant.Uniform.
-func quantAppendSlice(codes []uint8, params []uint16, x []float32, bits int) ([]uint8, []uint16) {
+//
+// When smin/smax are non-nil they receive the per-channel min/max fold of
+// the *dequantized* values float32(code)*Δ+lo — what attention will stream —
+// seeded from this token when init is true.
+func quantAppendSlice(codes []uint8, params []uint16, x []float32, bits int, smin, smax []float32, init bool) ([]uint8, []uint16) {
 	lo, hi := x[0], x[0]
 	for _, v := range x[1:] {
 		if v < lo {
@@ -143,7 +165,24 @@ func quantAppendSlice(codes []uint8, params []uint16, x []float32, bits int) ([]
 		dBits, dD = 0, 0
 	}
 	params = append(params, loBits, dBits)
+	fold := func(j int, deq float32) {
+		if init {
+			smin[j], smax[j] = deq, deq
+			return
+		}
+		if deq < smin[j] {
+			smin[j] = deq
+		}
+		if deq > smax[j] {
+			smax[j] = deq
+		}
+	}
 	if dD == 0 {
+		if smin != nil {
+			for j := range x {
+				fold(j, loD) // every channel dequantizes to lo
+			}
+		}
 		switch bits {
 		case 8:
 			for range x {
@@ -169,12 +208,21 @@ func quantAppendSlice(codes []uint8, params []uint16, x []float32, bits int) ([]
 	}
 	switch bits {
 	case 8:
-		for _, v := range x {
-			codes = append(codes, encode(v))
+		for j, v := range x {
+			cde := encode(v)
+			codes = append(codes, cde)
+			if smin != nil {
+				fold(j, float32(cde)*dD+loD)
+			}
 		}
 	case 4:
 		for j := 0; j < len(x); j += 2 {
-			codes = append(codes, encode(x[j])|encode(x[j+1])<<4)
+			c0, c1 := encode(x[j]), encode(x[j+1])
+			codes = append(codes, c0|c1<<4)
+			if smin != nil {
+				fold(j, float32(c0)*dD+loD)
+				fold(j+1, float32(c1)*dD+loD)
+			}
 		}
 	}
 	return codes, params

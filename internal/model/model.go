@@ -44,6 +44,12 @@ type Model struct {
 	ropeFreqs []float64  // RoPE frequency schedule, precomputed once
 	invSqrtHD float32    // 1/sqrt(HeadDim), the attention score scale
 	ws        *Workspace // default workspace for the non-Into entry points
+
+	// sparseTopK > 0 turns on Quest sparse decode attention: each head
+	// scores the cache's per-page key summaries against its query and
+	// attends only the topK most critical pages (tail always included).
+	// Set before decoding starts; see SetSparseTopK.
+	sparseTopK int
 }
 
 // Workspace holds every scratch buffer one decode stream needs, sized once
@@ -71,6 +77,24 @@ type Workspace struct {
 	// per decode position and reused by every head of every layer.
 	ropeSin []float32
 	ropeCos []float32
+
+	// Sparse-attention scratch: per-page criticality scores (consumed
+	// destructively by selection) and the selected page indices, grown
+	// geometrically so steady-state sparse decode stays allocation-free.
+	pageScores []float64
+	pageSel    []int32
+	// sparseSel/sparseTot count pages selected vs pages resident across
+	// every (layer, head) sparse attention since the last TakeSparseStats.
+	// They live on the workspace so fused lane-sharded attention updates
+	// them without synchronization.
+	sparseSel, sparseTot int64
+	// probeRecall turns on the attention-mass recall probe: each sparse
+	// attention additionally computes the dense softmax and accumulates
+	// the fraction of true attention mass the selected pages captured.
+	// Diagnostic only — probing allocates; never enable on a serving path.
+	probeRecall bool
+	recallMass  float64
+	recallCnt   int64
 }
 
 // NewWorkspace allocates a workspace sized for this model. The score buffer
@@ -202,6 +226,7 @@ type cachePath struct {
 	appender kvcache.FlatAppender
 	batch    kvcache.FlatBatchAppender
 	observer kvcache.AttentionObserver
+	summ     kvcache.KeySummaryReader
 }
 
 func pathOf(c kvcache.Cache) cachePath {
@@ -218,6 +243,9 @@ func pathOf(c kvcache.Cache) cachePath {
 	cp.appender, _ = c.(kvcache.FlatAppender)
 	cp.batch, _ = c.(kvcache.FlatBatchAppender)
 	cp.observer, _ = c.(kvcache.AttentionObserver)
+	if sr, ok := c.(kvcache.KeySummaryReader); ok && sr.KeySummariesEnabled() {
+		cp.summ = sr
+	}
 	return cp
 }
 
@@ -351,6 +379,9 @@ func (m *Model) attendOver(ws *Workspace, cp *cachePath, l, limit int) {
 			}
 			tensor.AXPYStrided(out, scores, vals, stride)
 		case cp.quant != nil:
+			if limit < 0 && m.attendQuantSparse(ws, cp, l, kh, n, out) {
+				break
+			}
 			// Quantized paged fast path: stream code pages through the
 			// fused dequantize-on-stream kernels — per-element
 			// x = float32(code)·Δ + lo straight into the accumulation, no
@@ -386,6 +417,9 @@ func (m *Model) attendOver(ws *Workspace, cp *cachePath, l, limit int) {
 				i += t
 			}
 		case cp.pager != nil:
+			if limit < 0 && m.attendPagedSparse(ws, cp, l, kh, n, out) {
+				break
+			}
 			// Paged fast path: stream flat pages, scores first so the
 			// softmax (and any observer) sees the whole sequence; stop
 			// mid-page at the causal bound.

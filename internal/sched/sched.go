@@ -170,6 +170,16 @@ type Request struct {
 	// submit time" (the live-traffic case). Trace replay passes the
 	// trace's arrival so queueing delay is measured against intent.
 	Arrival float64
+	// Replay counts trailing Prompt tokens that were produced by decode
+	// steps on another engine (a migration handoff under sparse attention).
+	// Sparse decode alters the residual stream, so dense chunked prefill
+	// would not rebuild those tokens' KV the way the source engine computed
+	// it; instead the engine prefills only Prompt[:len-Replay] densely and
+	// re-advances the tail through ordinary (sparse) decode steps without
+	// emitting — reproducing the source cache state exactly. Ignored (zeroed)
+	// on engines without sparse attention, where chunked prefill is already
+	// bit-identical to decode. Must be < len(Prompt).
+	Replay int
 }
 
 // Stats are engine-lifetime counters.
@@ -197,6 +207,13 @@ type Stats struct {
 	// MigratedOut counts preemption victims handed off through the
 	// Config.Migrate hook instead of being requeued locally.
 	MigratedOut int
+	// SparsePagesSelected / SparsePagesTotal sum, over every sparse decode
+	// attention the engine ran, the pages attended vs the pages resident —
+	// selected/total is the fleet-visible attention-traffic ratio sparse
+	// attention achieved. Both stay 0 when sparsity is off or contexts
+	// never exceeded the page budget topK.
+	SparsePagesSelected int64
+	SparsePagesTotal    int64
 }
 
 // View is a point-in-time snapshot of the engine's router-visible state —
@@ -249,6 +266,12 @@ type reqState struct {
 	// and its reserved pages but contributes no decode lane yet).
 	prompt    []int
 	prefilled int
+	// replay counts trailing prompt tokens (decode-produced before a
+	// preemption or migration) that must re-advance through decode steps
+	// instead of chunked prefill — only under sparse attention, where the
+	// two are not interchangeable. Replay steps emit nothing; prefilled
+	// advances with them so it always counts prompt tokens in the cache.
+	replay int
 	// sess is non-nil only while running with prefill complete; cache is
 	// non-nil for the whole running span, including mid-prefill.
 	sess  *core.StepSession
@@ -298,6 +321,11 @@ type Engine struct {
 	pool  *core.WorkspacePool
 	cfg   Config
 	start time.Time
+	// sparse mirrors m.SparseTopK() > 0 at construction: every request
+	// cache is built with key summaries enabled, and preempted/migrated
+	// requests replay their decode-produced tokens instead of dense-
+	// prefilling them.
+	sparse bool
 	// pageBudget is cfg.KVPages converted to the engine's page currency:
 	// identical for fp32 caches, scaled up by kvcache.ScaledPageBudget when
 	// KVQuantBits is set (the same bytes hold more quantized pages). All
@@ -358,10 +386,11 @@ func New(m *model.Model, cfg Config) (*Engine, error) {
 		start = time.Now()
 	}
 	e := &Engine{
-		m:     m,
-		pool:  core.NewWorkspacePool(m),
-		cfg:   cfg,
-		start: start,
+		m:      m,
+		pool:   core.NewWorkspacePool(m),
+		cfg:    cfg,
+		start:  start,
+		sparse: m.SparseTopK() > 0,
 		pageBudget: kvcache.ScaledPageBudget(
 			cfg.KVPages, m.CacheShape(), cfg.PageTokens, cfg.KVQuantBits),
 		wake: make(chan struct{}, 1),
@@ -374,6 +403,11 @@ func New(m *model.Model, cfg Config) (*Engine, error) {
 				kvcache.ErrOutOfPages, prefixPages, e.pageBudget)
 		}
 		cache := kvcache.NewPagedKVQuant(m.CacheShape(), cfg.PageTokens, e.pageBudget, cfg.KVQuantBits)
+		if e.sparse {
+			// Clones inherit the summaries, so every prefix-hit request
+			// cache can serve sparse decode.
+			cache.EnableKeySummaries()
+		}
 		// Construction-time prefill has no decode traffic to interleave
 		// with, but the chunk plane's batched GEMMs still finish a long
 		// prefix several times faster than token-at-a-time ForwardInto —
@@ -437,6 +471,14 @@ func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Token, error) 
 	}
 	if req.MaxNew <= 0 {
 		req.MaxNew = e.cfg.MaxNew
+	}
+	if !e.sparse {
+		// Dense chunked prefill is bit-identical to decode; nothing to
+		// replay.
+		req.Replay = 0
+	}
+	if req.Replay < 0 || req.Replay >= len(req.Prompt) {
+		return nil, fmt.Errorf("sched: replay %d out of range for prompt of %d", req.Replay, len(req.Prompt))
 	}
 	if e.pageBudget > 0 {
 		budget := e.pageBudget
@@ -652,6 +694,17 @@ func (e *Engine) admitLocked() {
 			prompt = append(prompt, rs.generated...)
 		}
 		pl := e.prefixLen(prompt)
+		replay := 0
+		if e.sparse {
+			replay = rs.req.Replay + len(rs.generated)
+			if pl > len(prompt)-replay {
+				// The prefix clone would stand in for decode-produced
+				// tokens (possible when emitted tokens happen to match the
+				// prefix continuation), but their KV must come from sparse
+				// decode replay, not dense prefix prefill. Rebuild cold.
+				pl = 0
+			}
+		}
 		need := e.privatePages(len(prompt), pl)
 		if len(prompt)%e.cfg.PageTokens == 0 {
 			// The first decode step would open a page immediately;
@@ -680,6 +733,9 @@ func (e *Engine) admitLocked() {
 			}
 		} else {
 			cache = kvcache.NewPagedKVQuant(e.m.CacheShape(), e.cfg.PageTokens, e.pageBudget, e.cfg.KVQuantBits)
+			if e.sparse {
+				cache.EnableKeySummaries()
+			}
 			err = cache.Reserve(len(prompt))
 		}
 		if err != nil {
@@ -689,6 +745,10 @@ func (e *Engine) admitLocked() {
 		}
 		rs.sess, rs.cache = nil, cache
 		rs.prompt, rs.prefilled = prompt, pl
+		// Decode-produced prompt tokens (from a migration handoff plus any
+		// locally emitted before this preemption) re-advance through sparse
+		// decode steps, not dense prefill — see Request.Replay.
+		rs.replay = replay
 		rs.pages = need
 		rs.reserved = len(prompt)%e.cfg.PageTokens == 0
 		rs.load = float64(len(rs.req.Prompt) + rs.remaining())
@@ -739,8 +799,9 @@ func (e *Engine) preemptForStep() {
 		needs := 0
 		for _, rs := range e.running {
 			// Mid-prefill requests open no pages this step: their whole
-			// prompt was reserved at admission.
-			if rs.sess != nil && rs.sess.Pos()%e.cfg.PageTokens == 0 && !rs.reserved {
+			// prompt was reserved at admission — as were a replaying
+			// session's remaining prompt tokens.
+			if rs.sess != nil && rs.replay == 0 && rs.sess.Pos()%e.cfg.PageTokens == 0 && !rs.reserved {
 				needs++
 			}
 		}
@@ -859,6 +920,12 @@ func (e *Engine) stepOnce() {
 		}
 		e.stepReqs = append(e.stepReqs, rs)
 		e.stepSessions = append(e.stepSessions, rs.sess)
+		if rs.replay > 0 {
+			// Replay steps append prompt tokens whose pages were reserved
+			// at admission; the reserved first-generation page (if any)
+			// stays held for the first post-replay step.
+			continue
+		}
 		if rs.sess.Pos()%e.cfg.PageTokens == 0 {
 			if rs.reserved {
 				rs.reserved = false
@@ -876,24 +943,43 @@ func (e *Engine) stepOnce() {
 
 	var chunk *core.PrefillChunk
 	if pf != nil {
-		n := len(pf.prompt) - pf.prefilled
-		if n > e.cfg.PrefillChunk {
-			n = e.cfg.PrefillChunk
+		// Dense prefill stops short of the replay tail: those tokens
+		// re-advance through decode steps once the session forms.
+		end := len(pf.prompt) - pf.replay
+		if pf.prefilled == end {
+			// A prefix hit covered the whole dense span (possible only
+			// with a replay tail): no chunk to run — the session starts
+			// directly on the tail, whose first token is already known.
+			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, pf.prompt[end])
+			pf = nil
+		} else {
+			n := end - pf.prefilled
+			if n > e.cfg.PrefillChunk {
+				n = e.cfg.PrefillChunk
+			}
+			e.chunk.Tokens = pf.prompt[pf.prefilled : pf.prefilled+n]
+			e.chunk.Cache = pf.cache
+			// The final chunk's logits decide the next token — unless a
+			// replay tail follows, in which case the next token is a known
+			// prompt token and the chunk's logits pass is skipped.
+			e.chunk.Final = pf.prefilled+n == end && pf.replay == 0
+			chunk = &e.chunk
 		}
-		e.chunk.Tokens = pf.prompt[pf.prefilled : pf.prefilled+n]
-		e.chunk.Cache = pf.cache
-		e.chunk.Final = pf.prefilled+n == len(pf.prompt)
-		chunk = &e.chunk
 	}
 	if cap(e.stepToks) < len(e.stepSessions) {
 		e.stepToks = make([]int, len(e.stepSessions))
 	}
 	toks := e.stepToks[:len(e.stepSessions)]
-	next := core.StepMixedInto(e.pool, e.stepSessions, toks, chunk)
+	var stepStats core.StepStats
+	next := core.StepMixedStatsInto(e.pool, e.stepSessions, toks, chunk, &stepStats)
 	if pf != nil {
 		pf.prefilled += len(e.chunk.Tokens)
 		if e.chunk.Final {
 			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, next)
+		} else if pf.prefilled == len(pf.prompt)-pf.replay {
+			// Dense span complete, replay tail ahead: seed the session
+			// with the tail's (known) first token.
+			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, pf.prompt[pf.prefilled])
 		}
 		e.chunk = core.PrefillChunk{} // drop the cache reference
 	}
@@ -901,6 +987,8 @@ func (e *Engine) stepOnce() {
 
 	e.mu.Lock()
 	e.stats.Steps++
+	e.stats.SparsePagesSelected += stepStats.SparsePagesSelected
+	e.stats.SparsePagesTotal += stepStats.SparsePagesTotal
 	if pf != nil {
 		e.stats.PrefillChunks++
 		if len(e.stepReqs) > 0 {
@@ -909,6 +997,15 @@ func (e *Engine) stepOnce() {
 	}
 	retired := false
 	for i, rs := range e.stepReqs {
+		if rs.replay > 0 {
+			// A replay step re-advanced an already-emitted token: it is in
+			// rs.prompt (and, for a local preemption, rs.generated and the
+			// buffered channel) already — record the prompt token as cached
+			// and emit nothing.
+			rs.replay--
+			rs.prefilled++
+			continue
+		}
 		rs.generated = append(rs.generated, toks[i])
 		if rs.firstTok < 0 {
 			rs.firstTok = now

@@ -31,6 +31,7 @@ type config struct {
 	prefillChunk int
 	schedPol     string
 	kvQuant      string
+	sparseTopK   int
 	realEngine   bool
 	sharedPrefix []int
 	routerName   string
@@ -143,6 +144,23 @@ func WithSchedPolicy(name string) Option { return func(c *config) { c.schedPol =
 // Cluster.ServeTrace under WithRealEngine; the simulator and the offline
 // compression methods (WithMethod) are unaffected.
 func WithKVQuant(method string) Option { return func(c *config) { c.kvQuant = method } }
+
+// WithSparseAttention enables Quest-style sparse decode attention on the
+// live serving plane: the paged cache maintains per-page key min/max
+// summaries, and every decode step scores them against the query and attends
+// only the topK most critical pages per head (the newest page always
+// included). Prefill stays dense — it is what builds the summaries. At topK
+// at or above the resident page count the output is bit-identical to dense
+// serving; below it, decode reads O(topK) pages instead of the whole context,
+// trading a measurable accuracy cost (see NewEvaluator / EvalSparse) for
+// long-context decode speed. Composes with WithKVQuant — summaries fold over
+// dequantized codes, so the criticality bound covers exactly what the fused
+// kernels stream. Serving stays deterministic: preemption recompute,
+// WithSharedPrefix clones, and cross-engine migration replay decode-produced
+// tokens through the same sparse steps and reproduce streams bit-exactly.
+// topK 0 (the default) disables sparsity. Applies to NewServer, NewFleet,
+// and Cluster.ServeTrace under WithRealEngine.
+func WithSparseAttention(topK int) Option { return func(c *config) { c.sparseTopK = topK } }
 
 // WithSharedPrefix installs a shared prompt prefix (e.g. a system prompt)
 // the server prefills once and reuses — via copy-on-write KV page clones —

@@ -78,6 +78,13 @@ type ServerStats struct {
 	// instead of re-queued locally. Always 0 on a standalone Server; a
 	// Fleet reports it per engine (see FleetStats).
 	MigratedOut int
+	// SparsePagesSelected / SparsePagesTotal account WithSparseAttention's
+	// page selection across every (layer, head) decode attention:
+	// selected/total is the fraction of resident KV pages decode actually
+	// read. Both stay 0 under dense serving (or when sparsity never
+	// engaged because contexts stayed at or under topK pages).
+	SparsePagesSelected int64
+	SparsePagesTotal    int64
 }
 
 // serverStatsFrom converts the internal scheduler counters to their public
@@ -85,19 +92,21 @@ type ServerStats struct {
 // drift.
 func serverStatsFrom(st sched.Stats) ServerStats {
 	return ServerStats{
-		Steps:             st.Steps,
-		Admitted:          st.Admitted,
-		Preemptions:       st.Preemptions,
-		Completed:         st.Completed,
-		Cancelled:         st.Cancelled,
-		PeakRunning:       st.PeakRunning,
-		PeakKVPages:       st.PeakPages,
-		PrefillChunks:     st.PrefillChunks,
-		MixedSteps:        st.MixedSteps,
-		PrefillPreempted:  st.PrefillPreempted,
-		PrefixHits:        st.PrefixHits,
-		PrefixTokensSaved: st.PrefixTokensSaved,
-		MigratedOut:       st.MigratedOut,
+		Steps:               st.Steps,
+		Admitted:            st.Admitted,
+		Preemptions:         st.Preemptions,
+		Completed:           st.Completed,
+		Cancelled:           st.Cancelled,
+		PeakRunning:         st.PeakRunning,
+		PeakKVPages:         st.PeakPages,
+		PrefillChunks:       st.PrefillChunks,
+		MixedSteps:          st.MixedSteps,
+		PrefillPreempted:    st.PrefillPreempted,
+		PrefixHits:          st.PrefixHits,
+		PrefixTokensSaved:   st.PrefixTokensSaved,
+		MigratedOut:         st.MigratedOut,
+		SparsePagesSelected: st.SparsePagesSelected,
+		SparsePagesTotal:    st.SparsePagesTotal,
 	}
 }
 
@@ -134,6 +143,8 @@ func NewServer(opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
 	case cfg.prefillChunk <= 0:
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	case cfg.sparseTopK < 0:
+		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
 	}
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
@@ -148,6 +159,7 @@ func NewServer(opts ...Option) (*Server, error) {
 		}
 	}
 	m := model.New(model.Tiny(), cfg.seed)
+	m.SetSparseTopK(cfg.sparseTopK)
 	eng, err := sched.New(m, sched.Config{
 		MaxBatch:     cfg.maxBatch,
 		PageTokens:   cfg.pageTokens,

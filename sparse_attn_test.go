@@ -1,0 +1,74 @@
+package rethinkkv_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rethinkkv"
+)
+
+// A negative topK must fail fast at construction on every facade that
+// accepts WithSparseAttention.
+func TestSparseAttentionNegativeTopKFailsFast(t *testing.T) {
+	if _, err := rethinkkv.NewServer(rethinkkv.WithSparseAttention(-1)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewServer topK -1 = %v, want ErrInvalidOption", err)
+	}
+	if _, err := rethinkkv.NewFleet(2, rethinkkv.WithSparseAttention(-2)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewFleet topK -2 = %v, want ErrInvalidOption", err)
+	}
+	if _, err := rethinkkv.NewCluster([]string{"fp16"}, rethinkkv.WithSparseAttention(-3)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewCluster topK -3 = %v, want ErrInvalidOption", err)
+	}
+}
+
+// A sparse server must serve deterministic streams (identical across two
+// identically-seeded servers, with and without KV quantization) and account
+// its page selection in ServerStats.
+func TestSparseAttentionServerServesDeterministically(t *testing.T) {
+	prompt := make([]int, 40) // 10 pages at WithPageTokens(4)
+	for i := range prompt {
+		prompt[i] = (i*7 + 3) % 512
+	}
+	run := func(quant string) ([]int, rethinkkv.ServerStats) {
+		t.Helper()
+		s, err := rethinkkv.NewServer(
+			rethinkkv.WithSparseAttention(2), rethinkkv.WithKVQuant(quant),
+			rethinkkv.WithSeed(5), rethinkkv.WithMaxNewTokens(12), rethinkkv.WithPageTokens(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ch, err := s.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for tok := range ch {
+			out = append(out, tok.ID)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		return out, s.Stats()
+	}
+	for _, quant := range []string{rethinkkv.KVQuantFP32, rethinkkv.KVQuantInt8} {
+		a, stA := run(quant)
+		b, _ := run(quant)
+		if len(a) != 12 {
+			t.Fatalf("%s: %d tokens, want 12", quant, len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s token %d: %d != %d across identical servers", quant, j, a[j], b[j])
+			}
+		}
+		if stA.SparsePagesSelected == 0 || stA.SparsePagesSelected >= stA.SparsePagesTotal {
+			t.Fatalf("%s: sparse counters (sel=%d, tot=%d) show no real sparsity",
+				quant, stA.SparsePagesSelected, stA.SparsePagesTotal)
+		}
+	}
+}
