@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race-sched fleet-smoke bench bench-smoke bench-serve
+.PHONY: ci fmt vet build test race-sched fleet-smoke chaos-smoke bench bench-smoke bench-serve
 
-ci: fmt vet build test race-sched fleet-smoke bench-smoke
+ci: fmt vet build test race-sched fleet-smoke chaos-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,14 +27,25 @@ test:
 # pages (append-time encode, fused dequant reads, CoW clones) now sit on
 # the same concurrent decode plane, and internal/attention because the
 # sparse page-selection kernels (criticality scoring over the key summaries)
-# run inside the sharded decode step.
+# run inside the sharded decode step. internal/faults joins for the
+# fault-injection hooks (panic isolation, submit storms) exercised by the
+# failover and deadline-shedding tests in sched and fleet.
 race-sched:
-	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model ./internal/quant ./internal/kvcache ./internal/attention
+	$(GO) test -race ./internal/sched ./internal/fleet ./internal/core ./internal/model ./internal/quant ./internal/kvcache ./internal/attention ./internal/faults
 
 # fleet-smoke runs a tiny end-to-end multi-engine serve through servebench:
 # 2 engines, baseline router, no rate sweep or long-prompt scenario.
 fleet-smoke:
 	$(GO) run ./cmd/servebench -rates "" -longprompt 0 -fleet 2 -routers baseline -fleetreqs 6 -maxnew 8 > /dev/null
+
+# chaos-smoke runs one seeded engine-failure scenario end-to-end through
+# servebench: a 3-engine fleet loses 1 engine to an injected mid-decode
+# panic, failover replays its in-flight requests on the survivors, and the
+# run asserts-by-construction that every stream completes (completed_frac)
+# and stays token-identical to the no-fault run (tokens_match_no_fault in
+# the chaos_scenario JSON).
+chaos-smoke:
+	$(GO) run ./cmd/servebench -rates "" -longprompt 0 -chaos 3 -chaoskills 0,1 -chaosreqs 6 -chaosmaxnew 24 > /dev/null
 
 BENCH_PKGS = . ./internal/model ./internal/attention
 
@@ -60,7 +71,7 @@ bench-smoke:
 # timeshare).
 bench:
 	$(GO) test -run XXX -bench=. -benchmem -cpu 1,4 $(BENCH_PKGS)
-	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32
+	GOMAXPROCS=4 $(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32 -chaos 4
 
 # bench-serve records the baseline at the machine's native GOMAXPROCS (the
 # numbers in BENCH_serve.json state the setting; `make bench` additionally
@@ -74,5 +85,9 @@ bench:
 # long-context sparse decode A/B (sparse_scenario): a 3072-token prompt
 # decoded under full attention vs Quest-style topK page selection, with
 # decode tok/s, attention-mass recall and task-score deltas per budget.
+# -chaos 4 adds the goodput-under-failure curve (chaos_scenario): seeded
+# mid-decode panics kill 0/1/2 of 4 engines, failover keeps every stream
+# token-identical to the no-fault run, and relative goodput is compared
+# against the surviving capacity fraction.
 bench-serve:
-	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32 -out BENCH_serve.json
+	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32 -chaos 4 -out BENCH_serve.json

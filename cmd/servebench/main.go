@@ -62,6 +62,50 @@ type report struct {
 	Fleet       *fleetScenario      `json:"fleet_scenario,omitempty"`
 	KVQuant     *kvQuantScenario    `json:"kv_quant_scenario,omitempty"`
 	Sparse      *sparseScenario     `json:"sparse_scenario,omitempty"`
+	Chaos       *chaosScenario      `json:"chaos_scenario,omitempty"`
+}
+
+// chaosScenario records the goodput-under-failure curve: the same
+// closed-loop page-pressure workload served by an n-engine fleet while a
+// seeded fault plan panics 0, 1, 2, ... engines mid-decode. Every request
+// must still complete — failover re-admits each dead engine's in-flight
+// requests on the survivors with a replay prefix, so the streams stay
+// token-identical to the no-fault run — and what degrades is throughput.
+// goodput_vs_no_fault compares each kill count's completed-token rate to
+// the fault-free run; a healthy fleet stays at or above the surviving
+// capacity fraction (the failure lands mid-run, so the early iterations
+// still had full capacity, offset by the replayed recompute).
+type chaosScenario struct {
+	Description      string     `json:"description"`
+	Engines          int        `json:"engines"`
+	Requests         int        `json:"requests"`
+	MaxNew           int        `json:"max_new"`
+	PerEngineKVPages int        `json:"per_engine_kv_pages"`
+	PageTokens       int        `json:"page_tokens"`
+	MaxBatch         int        `json:"max_batch"`
+	Router           string     `json:"router"`
+	Seed             uint64     `json:"seed"`
+	Runs             []chaosRun `json:"runs"`
+}
+
+type chaosRun struct {
+	Kills              int     `json:"engines_killed"`
+	Victims            []int   `json:"victims,omitempty"`
+	KillSteps          []int   `json:"kill_steps,omitempty"`
+	SurvivingFrac      float64 `json:"surviving_capacity_frac"`
+	GoodputTokPerS     float64 `json:"goodput_tokens_per_sec"`
+	GoodputVsNoFault   float64 `json:"goodput_vs_no_fault,omitempty"`
+	CompletedFrac      float64 `json:"completed_frac"`
+	TokensMatchNoFault bool    `json:"tokens_match_no_fault"`
+	MakespanS          float64 `json:"makespan_s"`
+	TTFTP50Ms          float64 `json:"ttft_p50_ms"`
+	TTFTP99Ms          float64 `json:"ttft_p99_ms"`
+	EngineFailures     int     `json:"engine_failures"`
+	FailedOver         int     `json:"failed_over"`
+	Migrations         int     `json:"migrations,omitempty"`
+	MigrationFailed    int     `json:"migration_failed,omitempty"`
+	Preemptions        int     `json:"preemptions,omitempty"`
+	Shed               int     `json:"shed,omitempty"`
 }
 
 // sparseScenario A/Bs Quest-style sparse decode (WithSparseAttention) against
@@ -225,6 +269,12 @@ func main() {
 	kvQuantMaxNew := flag.Int("kvquantmaxnew", 24, "KV quant scenario decode budget per request")
 	kvQuantPages := flag.Int("kvquantpages", 16, "KV quant scenario byte budget, in full-precision pages")
 	kvQuantPageTokens := flag.Int("kvquantpagetokens", 4, "KV quant scenario page size in tokens (fine pages keep contexts short so capacity, not dequant cost, dominates)")
+	chaosN := flag.Int("chaos", 0, "chaos scenario fleet engine count (0 disables the scenario)")
+	chaosKills := flag.String("chaoskills", "0,1,2", "comma-separated engines-killed counts for the chaos scenario's goodput-under-failure curve")
+	chaosRouter := flag.String("chaosrouter", "kv-pressure", "router policy for the chaos scenario")
+	chaosReqs := flag.Int("chaosreqs", 16, "chaos scenario concurrent requests")
+	chaosMaxNew := flag.Int("chaosmaxnew", 64, "chaos scenario decode budget per request (long enough that the kill lands mid-decode)")
+	chaosPages := flag.Int("chaospages", 24, "chaos scenario per-engine KV page budget")
 	sloTTFT := flag.Float64("slottft", 100, "TTFT SLO deadline in ms for goodput (0 = unconstrained)")
 	sloTBOT := flag.Float64("slotbot", 5, "mean time-between-output-tokens SLO deadline in ms for goodput (0 = unconstrained)")
 	seed := flag.Uint64("seed", 7, "workload and weight seed")
@@ -311,6 +361,14 @@ func main() {
 			fatal(err)
 		}
 		rep.Fleet = sc
+	}
+
+	if *chaosN > 0 {
+		sc, err := runChaosScenario(*chaosN, *chaosKills, *chaosRouter, *chaosReqs, *chaosMaxNew, *batch, *chaosPages, *pageTokens, *policy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Chaos = sc
 	}
 
 	if strings.TrimSpace(*kvQuant) != "" {
@@ -643,6 +701,161 @@ func runFleetScenario(engines int, routerSpec string, n, maxNew, batch, pages, p
 			name, run.TokensPerSec, run.SpeedupVsSingle, run.TTFTP50Ms, run.TTFTP99Ms, run.Preemptions, run.Migrations, run.Routed)
 	}
 	return sc, nil
+}
+
+// runChaosScenario serves the page-pressure workload through an n-engine
+// fleet once per engines-killed count. For k > 0 a seeded FaultPlan panics
+// k distinct engines at staggered mid-decode iterations; the fleet
+// quarantines each dead engine and fails its in-flight requests over to
+// the survivors with a replay prefix. The run records completed-token
+// goodput relative to the fault-free run, whether every stream stayed
+// token-identical to it, and the failover/shed counters.
+func runChaosScenario(engines int, killSpec, routerName string, n, maxNew, batch, pages, pageTokens int, schedPolicy string, seed uint64) (*chaosScenario, error) {
+	prompts := pressurePrompts(n, seed)
+	sc := &chaosScenario{
+		Description:      "Goodput under engine failure: the fleet serves the closed-loop page-pressure workload while a seeded fault plan panics k engines at staggered mid-decode iterations. Failover re-admits each dead engine's in-flight requests on the survivors with a replay prefix, so every stream completes token-identical to the no-fault run (tokens_match_no_fault); goodput_vs_no_fault is the completed-token rate relative to k=0 and should hold at or above surviving_capacity_frac, since the kill lands mid-run and only the replayed recompute is lost.",
+		Engines:          engines,
+		Requests:         n,
+		MaxNew:           maxNew,
+		PerEngineKVPages: pages,
+		PageTokens:       pageTokens,
+		MaxBatch:         batch,
+		Router:           routerName,
+		Seed:             seed,
+	}
+
+	var baseline [][]int // token streams of the k=0 run
+	var baseGoodput float64
+	for _, spec := range strings.Split(killSpec, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		kills, err := strconv.Atoi(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bad chaos kill count %q: %w", spec, err)
+		}
+		if kills < 0 || kills >= engines {
+			return nil, fmt.Errorf("chaos kill count %d out of range [0, %d)", kills, engines)
+		}
+
+		opts := []rethinkkv.Option{
+			rethinkkv.WithSeed(seed),
+			rethinkkv.WithMaxNewTokens(maxNew),
+			rethinkkv.WithMaxBatch(batch),
+			rethinkkv.WithKVPages(pages),
+			rethinkkv.WithPageTokens(pageTokens),
+			rethinkkv.WithSchedPolicy(schedPolicy),
+			rethinkkv.WithRouter(routerName),
+		}
+		run := chaosRun{
+			Kills:         kills,
+			SurvivingFrac: float64(engines-kills) / float64(engines),
+		}
+		if kills > 0 {
+			plan := rethinkkv.FaultPlan{Seed: seed, StepPanics: make(map[int]int, kills)}
+			used := make(map[int]bool, kills)
+			for salt := uint64(1); len(run.Victims) < kills; salt++ {
+				v := plan.PickVictim(engines, salt)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				// Staggered kills: each later victim dies a few batched
+				// iterations after the previous one, all mid-decode.
+				step := 8 + 6*len(run.Victims)
+				plan.StepPanics[v] = step
+				run.Victims = append(run.Victims, v)
+				run.KillSteps = append(run.KillSteps, step)
+			}
+			opts = append(opts, rethinkkv.WithFaults(plan))
+		}
+
+		fl, err := rethinkkv.NewFleet(engines, opts...)
+		if err != nil {
+			return nil, err
+		}
+		streams := make([][]int, len(prompts))
+		errs := make([]error, len(prompts))
+		var wg sync.WaitGroup
+		for i, prompt := range prompts {
+			ch, err := fl.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+			if err != nil {
+				fl.Close()
+				return nil, fmt.Errorf("chaos kills=%d submit %d: %w", kills, i, err)
+			}
+			wg.Add(1)
+			go func(i int, ch <-chan rethinkkv.Token) {
+				defer wg.Done()
+				for tok := range ch {
+					if tok.Err != nil {
+						errs[i] = tok.Err
+						continue
+					}
+					streams[i] = append(streams[i], tok.ID)
+				}
+			}(i, ch)
+		}
+		wg.Wait()
+		if err := fl.Drain(context.Background()); err != nil {
+			fl.Close()
+			return nil, fmt.Errorf("chaos kills=%d drain: %w", kills, err)
+		}
+		outs := fl.Outcomes()
+		st := fl.Stats()
+		fl.Close()
+
+		goodTokens, completed := 0, 0
+		for i := range streams {
+			if errs[i] == nil && len(streams[i]) == maxNew {
+				goodTokens += len(streams[i])
+				completed++
+			}
+		}
+		run.MakespanS = rethinkkv.Makespan(outs)
+		if run.MakespanS > 0 {
+			run.GoodputTokPerS = float64(goodTokens) / run.MakespanS
+		}
+		run.CompletedFrac = float64(completed) / float64(len(prompts))
+		run.TTFTP50Ms = 1000 * rethinkkv.Percentile(rethinkkv.TTFTs(outs), 50)
+		run.TTFTP99Ms = 1000 * rethinkkv.Percentile(rethinkkv.TTFTs(outs), 99)
+		run.EngineFailures = st.EngineFailures
+		run.FailedOver = st.FailedOver
+		run.Migrations = st.Migrations
+		run.MigrationFailed = st.MigrationFailed
+		run.Preemptions = st.Preemptions()
+		run.Shed = st.Shed()
+
+		if baseline == nil && kills == 0 {
+			baseline = streams
+			baseGoodput = run.GoodputTokPerS
+		}
+		run.TokensMatchNoFault = baseline != nil && tokensEqual(streams, baseline)
+		if baseGoodput > 0 {
+			run.GoodputVsNoFault = run.GoodputTokPerS / baseGoodput
+		}
+		sc.Runs = append(sc.Runs, run)
+		fmt.Fprintf(os.Stderr, "chaos: kills=%d/%d %7.1f good tok/s (%.2fx of no-fault, surviving capacity %.2f)   failed over %d   identical %v\n",
+			kills, engines, run.GoodputTokPerS, run.GoodputVsNoFault, run.SurvivingFrac, run.FailedOver, run.TokensMatchNoFault)
+	}
+	return sc, nil
+}
+
+func tokensEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // pressurePrompts synthesises the page-pressure workload the fleet and

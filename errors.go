@@ -46,4 +46,22 @@ var (
 	// misroute is reported per-run by ServeTrace itself; this sentinel is
 	// the live path's fail-fast form.
 	ErrBadRoute = errors.New("rethinkkv: router returned an out-of-range GPU index")
+	// ErrOverloaded reports a Submit rejected because the bounded admission
+	// queue (WithMaxQueue) is full — fail-fast back-pressure instead of
+	// unbounded queue growth. The request was never admitted; retry later
+	// or shed upstream.
+	ErrOverloaded = errors.New("rethinkkv: server overloaded, admission queue full")
+	// ErrEngineFailed reports an engine whose scheduling loop panicked. A
+	// standalone Server stays up but rejects new work and terminates live
+	// streams with an error token carrying this sentinel; a Fleet
+	// quarantines the engine, fails its in-flight requests over to healthy
+	// replicas via bit-identical replay, and only surfaces this error when
+	// no healthy engine can hold a request (or the whole fleet is down).
+	ErrEngineFailed = errors.New("rethinkkv: engine failed")
+	// ErrDeadlineExceeded reports a request shed from the admission queue
+	// because its TTFT deadline (ServeRequest.Deadline, or the
+	// WithAdmissionTimeout default) passed before decode started: the
+	// stream's final token carries this sentinel in Token.Err. Requests
+	// that already streamed a token are never shed.
+	ErrDeadlineExceeded = errors.New("rethinkkv: TTFT deadline exceeded before first token")
 )

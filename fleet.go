@@ -31,6 +31,14 @@ import (
 // target, whose bit-identical recompute plane rebuilds the cache, so the
 // caller's stream is byte-identical to an unmigrated run — migration only
 // costs time, which the wall-clock Outcomes expose (see WithMigration).
+//
+// The fleet is also a failure domain boundary: an engine whose scheduling
+// loop panics is quarantined (the router stops seeing it) and its in-flight
+// requests fail over to healthy engines through the same replay path, so a
+// single replica crash costs recompute time, not answers. Overload is
+// handled at admission — WithMaxQueue bounds each engine's queue
+// (ErrOverloaded) and WithAdmissionTimeout / ServeRequest.Deadline shed
+// queued requests that can no longer meet their TTFT SLO.
 type Fleet struct {
 	cfg    config
 	pool   *fleet.Pool
@@ -48,6 +56,25 @@ type FleetStats struct {
 	Routed []int
 	// Migrations counts completed cross-engine migrations.
 	Migrations int
+	// MigrationFailed counts migration handoffs whose target rejected the
+	// re-admission; the request was requeued on its source engine (or
+	// another healthy one) rather than dropped.
+	MigrationFailed int
+	// FailedOver counts failure-driven re-homings: requests moved off a
+	// failed engine and resumed on a healthy one via bit-identical replay.
+	FailedOver int
+	// EngineFailures counts engines currently quarantined after a
+	// scheduling-loop panic; the router no longer sees them.
+	EngineFailures int
+}
+
+// Shed sums deadline-shed requests across engines (see ServerStats.Shed).
+func (s FleetStats) Shed() int {
+	n := 0
+	for _, e := range s.Engines {
+		n += e.Shed
+	}
+	return n
 }
 
 // Preemptions sums evict-and-recompute events across engines.
@@ -85,6 +112,10 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
 	case cfg.sparseTopK < 0:
 		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
+	case cfg.maxQueue < 0:
+		return nil, fmt.Errorf("%w: negative admission queue bound %d", ErrInvalidOption, cfg.maxQueue)
+	case cfg.admissionTimeout < 0:
+		return nil, fmt.Errorf("%w: negative admission timeout %v", ErrInvalidOption, cfg.admissionTimeout)
 	}
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
@@ -104,21 +135,27 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 	}
 	m := model.New(model.Tiny(), cfg.seed)
 	m.SetSparseTopK(cfg.sparseTopK)
-	pool, err := fleet.New(m, fleet.Config{
+	fcfg := fleet.Config{
 		Engines: n,
 		Router:  r,
 		Migrate: cfg.migrate,
 		Engine: sched.Config{
-			MaxBatch:     cfg.maxBatch,
-			PageTokens:   cfg.pageTokens,
-			KVPages:      cfg.kvPages,
-			MaxNew:       cfg.maxNew,
-			PrefillChunk: cfg.prefillChunk,
-			Policy:       cfg.schedPol,
-			KVQuantBits:  quantBits,
-			SharedPrefix: cfg.sharedPrefix,
+			MaxBatch:         cfg.maxBatch,
+			PageTokens:       cfg.pageTokens,
+			KVPages:          cfg.kvPages,
+			MaxNew:           cfg.maxNew,
+			PrefillChunk:     cfg.prefillChunk,
+			Policy:           cfg.schedPol,
+			KVQuantBits:      quantBits,
+			SharedPrefix:     cfg.sharedPrefix,
+			MaxQueue:         cfg.maxQueue,
+			AdmissionTimeout: cfg.admissionTimeout.Seconds(),
 		},
-	})
+	}
+	if cfg.faults != nil {
+		fcfg.Faults = buildInjector(cfg.faults)
+	}
+	pool, err := fleet.New(m, fcfg)
 	if err != nil {
 		return nil, translateServeErr(err)
 	}
@@ -205,17 +242,26 @@ func (f *Fleet) Submit(ctx context.Context, req ServeRequest) (<-chan Token, err
 	if err := validatePrompt(req.Prompt, f.Vocab()); err != nil {
 		return nil, err
 	}
+	var dl float64
+	if req.Deadline > 0 {
+		dl = f.pool.Now() + req.Deadline.Seconds()
+	}
+	maxNew := req.MaxNew
+	if maxNew <= 0 {
+		maxNew = f.cfg.maxNew
+	}
 	ch, err := f.pool.Submit(ctx, sched.Request{
 		ID:        int(f.nextID.Add(1)) - 1, // submission order, 0-based
 		Prompt:    req.Prompt,
 		MaxNew:    req.MaxNew,
 		Predicted: req.Predicted,
 		Arrival:   -1, // stamp at submit time
+		Deadline:  dl,
 	})
 	if err != nil {
 		return nil, translateServeErr(err)
 	}
-	return ch, nil
+	return translateStream(ch, maxNew+1), nil
 }
 
 // Drain blocks until every request submitted so far has retired across the
@@ -239,9 +285,12 @@ func (f *Fleet) Outcomes() []Outcome { return f.pool.Outcomes() }
 func (f *Fleet) Stats() FleetStats {
 	st := f.pool.Stats()
 	out := FleetStats{
-		Engines:    make([]ServerStats, len(st.Engines)),
-		Routed:     st.Routed,
-		Migrations: st.Migrations,
+		Engines:         make([]ServerStats, len(st.Engines)),
+		Routed:          st.Routed,
+		Migrations:      st.Migrations,
+		MigrationFailed: st.MigrationFailed,
+		FailedOver:      st.FailedOver,
+		EngineFailures:  st.EngineFailures,
 	}
 	for i, es := range st.Engines {
 		out.Engines[i] = serverStatsFrom(es)

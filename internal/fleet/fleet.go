@@ -11,6 +11,16 @@
 // inside the discrete-event simulator therefore make their decisions on
 // wall-clock signals here — one Router contract, three backends.
 //
+// The pool is also the fleet's failure domain boundary. An engine whose
+// scheduling loop panics is marked failed by its own recover boundary
+// (sched.ErrEngineFailed) and quarantined here: Submit stops offering it to
+// the router, the preemption hook stops choosing it as a migration target,
+// and every request it was holding is failed over to a healthy replica
+// through the same serialize-and-replay path migration uses — so recovery
+// is bit-identical recompute, not approximation. A request that exhausts
+// its failover budget, or finds no healthy engine, terminates its stream
+// locally with an error token wrapping the cause instead of hanging.
+//
 // Migration uses the cheap path: when an engine preempts a request and
 // another engine has page headroom for its whole remaining lifetime, the
 // request is serialized as prompt + already-emitted tokens and re-admitted
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"rethinkkv/internal/compress"
+	"rethinkkv/internal/faults"
 	"rethinkkv/internal/kvcache"
 	"rethinkkv/internal/model"
 	"rethinkkv/internal/sched"
@@ -60,6 +71,12 @@ type Config struct {
 	// Engine is the per-replica scheduler configuration. GPU, Epoch and
 	// Migrate are owned by the pool and overwritten.
 	Engine sched.Config
+	// Faults, when non-nil, threads the deterministic fault-injection
+	// harness into every replica: engine i runs with the injector's
+	// StepHook(i)/SubmitHook(i) in its scheduler config, so chaos
+	// scenarios can kill, storm or slow a chosen engine at exact points
+	// in its event stream. Nil outside tests and chaos benches.
+	Faults *faults.Injector
 }
 
 // Stats is a snapshot of pool-lifetime counters.
@@ -71,6 +88,16 @@ type Stats struct {
 	Routed []int
 	// Migrations counts completed cross-engine re-admissions.
 	Migrations int
+	// MigrationFailed counts migration handoffs whose hook-chosen target
+	// rejected the re-Submit; the request was then requeued on its source
+	// engine (or another healthy replica) rather than dropped.
+	MigrationFailed int
+	// FailedOver counts failure-driven re-homings: in-flight requests
+	// moved off a failed engine and resumed elsewhere via replay.
+	FailedOver int
+	// EngineFailures counts quarantined engines (scheduling loop
+	// panicked; Engine.Failed() != nil).
+	EngineFailures int
 }
 
 // flight is one request's pool-level lifecycle. The forwarder goroutine
@@ -83,6 +110,7 @@ type flight struct {
 	maxNew    int
 	predicted int
 	arrival   float64
+	deadline  float64 // absolute TTFT deadline on the pool clock, 0 = none
 	start     float64
 	firstTok  float64
 	ctx       context.Context
@@ -90,6 +118,7 @@ type flight struct {
 	generated []int
 	engine    int // engine currently serving the request
 	hops      int // completed migrations
+	failovers int // failure-driven re-homings consumed (capped)
 	// migrateTo is the hook-chosen re-admission target, -1 when the next
 	// stream close means retirement rather than migration.
 	migrateTo int
@@ -102,17 +131,19 @@ type Pool struct {
 	methods []compress.Method
 	epoch   time.Time
 
-	mu         sync.Mutex
-	flights    map[int]*flight
-	outcomes   []serving.Outcome
-	routed     []int
-	migrations int
-	nextKey    int
-	pending    int
-	waiters    []chan struct{}
-	closed     bool
-	aborted    bool
-	wg         sync.WaitGroup
+	mu              sync.Mutex
+	flights         map[int]*flight
+	outcomes        []serving.Outcome
+	routed          []int
+	migrations      int
+	migrationFailed int
+	failedOver      int
+	nextKey         int
+	pending         int
+	waiters         []chan struct{}
+	closed          bool
+	aborted         bool
+	wg              sync.WaitGroup
 }
 
 // New starts a pool of cfg.Engines schedulers over the model (weights are
@@ -155,6 +186,10 @@ func New(m *model.Model, cfg Config) (*Pool, error) {
 		if cfg.Migrate && cfg.Engines > 1 {
 			ecfg.Migrate = p.onPreempt
 		}
+		if cfg.Faults != nil {
+			ecfg.StepHook = cfg.Faults.StepHook(i)
+			ecfg.SubmitHook = cfg.Faults.SubmitHook(i)
+		}
 		eng, err := sched.New(m, ecfg)
 		if err != nil {
 			for _, prev := range p.engines {
@@ -175,6 +210,10 @@ func (p *Pool) Engine(i int) *sched.Engine { return p.engines[i] }
 
 // now returns seconds since the pool epoch.
 func (p *Pool) now() float64 { return time.Since(p.epoch).Seconds() }
+
+// Now is the public form of the pool clock — the origin Request.Arrival
+// and Request.Deadline are measured against, shared by every engine.
+func (p *Pool) Now() float64 { return p.now() }
 
 // Views samples every engine's live state into router-visible GPU views.
 // FreeAt approximates the committed-work horizon from the backlog and the
@@ -209,12 +248,30 @@ func (p *Pool) Views(now float64) []serving.GPUView {
 	return out
 }
 
-// Submit routes a request onto an engine and returns its token stream. The
-// channel is buffered to the request's full budget and closes when the
-// request completes, ctx is cancelled, or the pool shuts down; cross-engine
-// migrations are invisible on it beyond the recompute delay. A router
-// return outside [0, Size()) fails with ErrBadRoute, mirroring the
-// simulator's treatment of invalid routes.
+// healthyViews filters the live views down to engines the router may still
+// be offered: quarantined replicas (Failed() != nil) disappear from the
+// routing surface entirely. Each view's ID stays the engine's real pool
+// index, so a router's slice-index choice maps back unambiguously.
+func (p *Pool) healthyViews(now float64) []serving.GPUView {
+	all := p.Views(now)
+	out := all[:0:0]
+	for i, v := range all {
+		if p.engines[i].Failed() == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Submit routes a request onto a healthy engine and returns its token
+// stream. The channel is buffered to the request's full budget (plus one
+// slot for a terminal error token) and closes when the request completes,
+// is shed or failed past recovery (the final token carries Err), ctx is
+// cancelled, or the pool shuts down; cross-engine migrations and failovers
+// are invisible on it beyond the recompute delay. A router return outside
+// the offered views fails with ErrBadRoute, mirroring the simulator's
+// treatment of invalid routes; a fleet with every engine quarantined fails
+// with sched.ErrEngineFailed.
 func (p *Pool) Submit(ctx context.Context, req sched.Request) (<-chan sched.Token, error) {
 	if len(req.Prompt) == 0 {
 		return nil, fmt.Errorf("fleet: empty prompt")
@@ -235,13 +292,28 @@ func (p *Pool) Submit(ctx context.Context, req sched.Request) (<-chan sched.Toke
 	}
 	// The router sees the request in the same vocabulary the simulator and
 	// the predictors were trained on: lengths plus the predicted-response
-	// hint in RefLen.
+	// hint in RefLen — and only the healthy slice of the fleet.
+	views := p.healthyViews(now)
+	if len(views) == 0 {
+		return nil, fmt.Errorf("%w: all %d engines quarantined", sched.ErrEngineFailed, len(p.engines))
+	}
 	gi := p.cfg.Router.Route(workload.Request{
 		ID: req.ID, PromptLen: len(req.Prompt), RefLen: pred, ArrivalTime: req.Arrival,
-	}, p.Views(now))
-	if gi < 0 || gi >= len(p.engines) {
-		return nil, fmt.Errorf("%w: router %s chose %d of %d engines",
-			ErrBadRoute, p.cfg.Router.Name(), gi, len(p.engines))
+	}, views)
+	if gi < 0 || gi >= len(views) {
+		return nil, fmt.Errorf("%w: router %s chose %d of %d healthy engines",
+			ErrBadRoute, p.cfg.Router.Name(), gi, len(views))
+	}
+	gi = views[gi].ID
+
+	// Resolve the TTFT deadline here, mirroring the engine's stamping
+	// rule, so failover re-admissions carry the original deadline instead
+	// of restarting the clock on a new engine.
+	dl := req.Deadline
+	if dl < 0 {
+		dl = 0
+	} else if dl == 0 && p.cfg.Engine.AdmissionTimeout > 0 {
+		dl = req.Arrival + p.cfg.Engine.AdmissionTimeout
 	}
 
 	f := &flight{
@@ -250,10 +322,11 @@ func (p *Pool) Submit(ctx context.Context, req sched.Request) (<-chan sched.Toke
 		maxNew:    req.MaxNew,
 		predicted: pred,
 		arrival:   req.Arrival,
+		deadline:  dl,
 		start:     -1,
 		firstTok:  -1,
 		ctx:       ctx,
-		out:       make(chan sched.Token, req.MaxNew),
+		out:       make(chan sched.Token, req.MaxNew+1),
 		engine:    gi,
 		migrateTo: -1,
 	}
@@ -269,8 +342,15 @@ func (p *Pool) Submit(ctx context.Context, req sched.Request) (<-chan sched.Toke
 	p.pending++
 	p.mu.Unlock()
 
+	// The pool already resolved the deadline; negative tells the engine
+	// not to stamp its own default on top.
+	edl := f.deadline
+	if edl == 0 {
+		edl = -1
+	}
 	ch, err := p.engines[gi].Submit(ctx, sched.Request{
 		ID: f.key, Prompt: req.Prompt, MaxNew: req.MaxNew, Predicted: pred, Arrival: req.Arrival,
+		Deadline: edl,
 	})
 	if err != nil {
 		p.mu.Lock()
@@ -305,7 +385,7 @@ func (p *Pool) onPreempt(gpu int, req sched.Request, generated int) bool {
 	need := kvcache.PagesFor(len(req.Prompt)+req.MaxNew, pageTokens) + 1
 	best, bestFree := -1, 0
 	for i, e := range p.engines {
-		if i == gpu {
+		if i == gpu || e.Failed() != nil {
 			continue
 		}
 		v := e.View()
@@ -329,15 +409,32 @@ func (p *Pool) onPreempt(gpu int, req sched.Request, generated int) bool {
 	return true
 }
 
+// maxFailovers caps how many engine failures a single request may ride out
+// before the pool stops re-homing it and terminates its stream with an
+// error token — a rolling blackout must not pin a request (and its replayed
+// prefill work) in an endless resubmit loop.
+const maxFailovers = 3
+
 // run forwards one flight's engine stream to the caller, re-admitting the
-// request on the hook-chosen engine each time a stream closes with a
-// migration pending. Token positions are remapped to the caller's original
+// request each time a stream closes with a migration pending or with its
+// engine failed. Token positions are remapped to the caller's original
 // prompt, so continuation submissions (whose engine-side prompt includes
-// previously emitted tokens) are invisible.
+// previously emitted tokens) are invisible. Engine-side terminal error
+// tokens (deadline shed, engine failure) are never forwarded raw: shedding
+// surfaces on the caller's stream as-is, failure triggers failover and only
+// surfaces once recovery is exhausted.
 func (p *Pool) run(f *flight, ch <-chan sched.Token) {
 	defer p.wg.Done()
 	for {
+		var streamErr error
 		for tok := range ch {
+			if tok.Err != nil {
+				// The engine is closing this stream and the token says
+				// why; the pool decides below whether that is terminal
+				// for the caller or just cause for failover.
+				streamErr = tok.Err
+				continue
+			}
 			if f.firstTok < 0 {
 				f.firstTok = p.now()
 			}
@@ -347,17 +444,49 @@ func (p *Pool) run(f *flight, ch <-chan sched.Token) {
 		p.mu.Lock()
 		target := f.migrateTo
 		f.migrateTo = -1
-		if target < 0 || p.closed || f.ctx.Err() != nil || len(f.generated) >= f.maxNew {
+		if p.closed || f.ctx.Err() != nil || len(f.generated) >= f.maxNew {
 			p.finishLocked(f)
 			p.mu.Unlock()
 			return
 		}
 		p.mu.Unlock()
 
+		if streamErr != nil && !errors.Is(streamErr, sched.ErrEngineFailed) {
+			// Shed past its deadline (or another engine-side terminal
+			// condition): deliberate load shedding, not a fault to route
+			// around. Surface the cause and retire.
+			p.fail(f, streamErr)
+			return
+		}
+		failed := streamErr != nil || p.engines[f.engine].Failed() != nil
+		if target < 0 && !failed {
+			// Closed without completing on a healthy engine with no
+			// migration pending: engine Close racing pool shutdown.
+			p.mu.Lock()
+			p.finishLocked(f)
+			p.mu.Unlock()
+			return
+		}
+		if failed {
+			f.failovers++
+			if f.failovers > maxFailovers {
+				p.fail(f, fmt.Errorf("%w: request %d gave up after %d failovers",
+					sched.ErrEngineFailed, f.id, maxFailovers))
+				return
+			}
+			// Any hook-chosen migration target predates the failure;
+			// resubmit re-ranks the healthy engines itself.
+			target = -1
+		}
+
 		// Serialize prompt + emitted tokens and re-admit; the target's
 		// chunked prefill rebuilds the KV cache bit-identically. Replay
 		// marks the emitted suffix so a sparse-attention target re-advances
-		// it through decode steps instead (dense targets ignore it).
+		// it through decode steps instead (dense targets ignore it). A
+		// continuation that already streamed opts out of deadline stamping
+		// (negative): shedding a half-delivered response would break the
+		// TTFT contract the deadline models; one still queued keeps its
+		// original deadline and may legitimately be shed on arrival.
 		cont := make([]int, 0, len(f.prompt)+len(f.generated))
 		cont = append(cont, f.prompt...)
 		cont = append(cont, f.generated...)
@@ -366,31 +495,98 @@ func (p *Pool) run(f *flight, ch <-chan sched.Token) {
 		if predRem < 1 {
 			predRem = 1
 		}
+		dl := f.deadline
+		if f.firstTok >= 0 || dl == 0 {
+			dl = -1
+		}
 		creq := sched.Request{ID: f.key, Prompt: cont, MaxNew: rem, Predicted: predRem,
-			Arrival: f.arrival, Replay: len(f.generated)}
-		nch, err := p.engines[target].Submit(f.ctx, creq)
+			Arrival: f.arrival, Replay: len(f.generated), Deadline: dl}
+		nch, engine, err := p.resubmit(f, creq, target)
 		if err != nil {
-			// Headroom vanished between the hook and the re-admission;
-			// fall back to the engine that evicted us (its admission
-			// invariant guarantees the request still fits alone).
-			target = f.engine
-			nch, err = p.engines[target].Submit(f.ctx, creq)
-			if err != nil {
-				p.mu.Lock()
-				p.finishLocked(f)
-				p.mu.Unlock()
-				return
-			}
+			p.fail(f, err)
+			return
 		}
 		p.mu.Lock()
-		if target != f.engine {
-			p.migrations++
+		if engine != f.engine {
 			f.hops++
+			if failed {
+				p.failedOver++
+			} else {
+				p.migrations++
+			}
 		}
-		f.engine = target
+		f.engine = engine
 		p.mu.Unlock()
 		ch = nch
 	}
+}
+
+// resubmit re-admits a continuation request after a migration handoff or an
+// engine failure. Candidate order: the hook-chosen migration target (when
+// there is one), then the source engine — whose admission invariant
+// guarantees a lone fit, making it the requeue of record when the target
+// rejects the handoff — then every other healthy engine in decreasing
+// free-page order. A target that rejects the re-Submit counts as a failed
+// migration; exhausting every candidate returns an error for the caller's
+// stream instead of silently ending it.
+func (p *Pool) resubmit(f *flight, creq sched.Request, preferred int) (<-chan sched.Token, int, error) {
+	seen := make([]bool, len(p.engines))
+	order := make([]int, 0, len(p.engines))
+	add := func(i int) {
+		if i >= 0 && !seen[i] && p.engines[i].Failed() == nil {
+			seen[i] = true
+			order = append(order, i)
+		}
+	}
+	add(preferred)
+	add(f.engine)
+	type cand struct{ i, free int }
+	rest := make([]cand, 0, len(p.engines))
+	for i, e := range p.engines {
+		if seen[i] || e.Failed() != nil {
+			continue
+		}
+		v := e.View()
+		free := v.FreePages()
+		if free < 0 { // unbounded
+			free = 1 << 30
+		}
+		rest = append(rest, cand{i, free})
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if rest[a].free != rest[b].free {
+			return rest[a].free > rest[b].free
+		}
+		return rest[a].i < rest[b].i
+	})
+	for _, c := range rest {
+		add(c.i)
+	}
+	err := fmt.Errorf("%w: no healthy engine for request %d", sched.ErrEngineFailed, f.id)
+	for _, i := range order {
+		nch, serr := p.engines[i].Submit(f.ctx, creq)
+		if serr == nil {
+			return nch, i, nil
+		}
+		err = fmt.Errorf("fleet: request %d found no engine to resume on: %w", f.id, serr)
+		if i == preferred && preferred != f.engine {
+			p.mu.Lock()
+			p.migrationFailed++
+			p.mu.Unlock()
+		}
+	}
+	return nil, -1, err
+}
+
+// fail terminates a flight's caller-facing stream with a wrapped error
+// token and retires it — the explicit end of the line when the engine shed
+// the request or no healthy engine can hold it. The out channel's spare
+// slot guarantees the send never blocks.
+func (p *Pool) fail(f *flight, err error) {
+	f.out <- sched.Token{Err: err}
+	p.mu.Lock()
+	p.finishLocked(f)
+	p.mu.Unlock()
 }
 
 // finishLocked retires a flight: the caller-facing stream closes and the
@@ -503,13 +699,18 @@ func (p *Pool) Outcomes() []serving.Outcome {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	st := Stats{
-		Routed:     append([]int(nil), p.routed...),
-		Migrations: p.migrations,
+		Routed:          append([]int(nil), p.routed...),
+		Migrations:      p.migrations,
+		MigrationFailed: p.migrationFailed,
+		FailedOver:      p.failedOver,
 	}
 	p.mu.Unlock()
 	st.Engines = make([]sched.Stats, len(p.engines))
 	for i, e := range p.engines {
 		st.Engines[i] = e.Stats()
+		if e.Failed() != nil {
+			st.EngineFailures++
+		}
 	}
 	return st
 }

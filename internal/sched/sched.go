@@ -56,10 +56,35 @@ func Policies() []string { return []string{PolicyFCFS, PolicySJF} }
 type Token struct {
 	ID  int // emitted vocabulary id
 	Pos int // absolute sequence position (original prompt length + offset)
+	// Err, when non-nil, is a terminal error: the stream is about to close
+	// without completing, and this token carries why — ErrEngineFailed
+	// (the engine's step loop panicked and nothing could take the request
+	// over) or ErrDeadlineExceeded (the request was shed from the admission
+	// queue past its TTFT deadline). ID and Pos are meaningless on an error
+	// token. Streams that complete or are cancelled by their own context
+	// close without one.
+	Err error
 }
 
 // ErrClosed reports a Submit or Drain against a closed engine.
 var ErrClosed = errors.New("sched: engine closed")
+
+// ErrEngineFailed reports an engine whose scheduling loop panicked. The
+// recover boundary marks the engine failed instead of letting the panic
+// take the process down: in-flight streams terminate with an error token
+// wrapping this sentinel (the fleet layer fails them over to healthy
+// engines first), and every later Submit or Drain fails with it.
+var ErrEngineFailed = errors.New("sched: engine failed")
+
+// ErrOverloaded reports a Submit rejected because the bounded admission
+// queue (Config.MaxQueue) is full — the fail-fast alternative to letting
+// an overload grow the queue without bound.
+var ErrOverloaded = errors.New("sched: admission queue full")
+
+// ErrDeadlineExceeded reports a request shed from the admission queue
+// because its TTFT deadline (Request.Deadline) passed before the engine
+// could start it — spending pages on it could no longer meet its SLO.
+var ErrDeadlineExceeded = errors.New("sched: TTFT deadline exceeded before admission")
 
 // Config sizes the engine.
 type Config struct {
@@ -114,6 +139,30 @@ type Config struct {
 	// kernels, so outputs are deterministic (recompute-exact) though not
 	// bit-identical to fp32 serving.
 	KVQuantBits int
+	// MaxQueue bounds the admission queue: a Submit finding MaxQueue
+	// requests already waiting fails fast with ErrOverloaded instead of
+	// growing the backlog without bound. 0 means unbounded (the
+	// pre-admission-control behaviour).
+	MaxQueue int
+	// AdmissionTimeout, in seconds, is the default TTFT deadline stamped on
+	// requests that carry none of their own: a request still queued
+	// AdmissionTimeout after its arrival is shed (stream terminates with an
+	// ErrDeadlineExceeded error token) instead of burning pages on work
+	// whose SLO is already blown. 0 disables the default; per-request
+	// Request.Deadline always wins.
+	AdmissionTimeout float64
+	// StepHook, when non-nil, runs at the top of every scheduling
+	// iteration with the 1-based iteration count, outside the engine lock.
+	// It is the fault-injection seam (internal/faults): a hook that panics
+	// exercises the recover boundary exactly as a real step-loop bug
+	// would, and a hook that sleeps models a slow replica. The hook runs
+	// on the loop goroutine — it must not call back into this engine.
+	StepHook func(step int)
+	// SubmitHook, when non-nil, is consulted by every Submit after
+	// validation; a non-nil error fails the Submit with it. Fault
+	// injection uses it for deterministic ErrOutOfPages storms — the
+	// transient capacity exhaustion an overloaded replica reports.
+	SubmitHook func() error
 	// SharedPrefix, when non-empty, is prefilled once at engine start and
 	// reused for every request whose prompt strictly extends it: the
 	// request's cache starts as a copy-on-write page clone of the prefix
@@ -150,6 +199,12 @@ func (c *Config) normalize() error {
 	if c.KVPages < 0 {
 		return fmt.Errorf("sched: negative page budget %d", c.KVPages)
 	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("sched: negative admission queue bound %d", c.MaxQueue)
+	}
+	if c.AdmissionTimeout < 0 {
+		return fmt.Errorf("sched: negative admission timeout %g", c.AdmissionTimeout)
+	}
 	if c.KVQuantBits != 0 && c.KVQuantBits != 4 && c.KVQuantBits != 8 {
 		return fmt.Errorf("sched: unsupported KV quant width %d (want 0, 4 or 8)", c.KVQuantBits)
 	}
@@ -170,6 +225,17 @@ type Request struct {
 	// submit time" (the live-traffic case). Trace replay passes the
 	// trace's arrival so queueing delay is measured against intent.
 	Arrival float64
+	// Deadline, in seconds on the engine clock (the same origin as
+	// Arrival), is the request's TTFT deadline: if it is still queued —
+	// prefill not started — past this instant, the engine sheds it with an
+	// ErrDeadlineExceeded error token instead of spending pages on work
+	// that can no longer meet its SLO. 0 means no deadline (then
+	// Config.AdmissionTimeout, if set, stamps a default at Submit);
+	// negative means explicitly none, suppressing the default too (the
+	// fleet uses it for failover continuations that already streamed). A
+	// request that already started is never shed — preemption and
+	// migration may still finish it late, which the outcome records.
+	Deadline float64
 	// Replay counts trailing Prompt tokens that were produced by decode
 	// steps on another engine (a migration handoff under sparse attention).
 	// Sparse decode alters the residual stream, so dense chunked prefill
@@ -207,6 +273,11 @@ type Stats struct {
 	// MigratedOut counts preemption victims handed off through the
 	// Config.Migrate hook instead of being requeued locally.
 	MigratedOut int
+	// Shed counts queued requests dropped past their TTFT deadline
+	// (Request.Deadline / Config.AdmissionTimeout) — deliberate load
+	// shedding, distinct from Cancelled (caller gave up) and from the
+	// streams an engine failure terminates.
+	Shed int
 	// SparsePagesSelected / SparsePagesTotal sum, over every sparse decode
 	// attention the engine ran, the pages attended vs the pages resident —
 	// selected/total is the fleet-visible attention-traffic ratio sparse
@@ -339,6 +410,9 @@ type Engine struct {
 	// loop-private state (touched only by the run goroutine).
 	running   []*reqState
 	usedPages int
+	// loopSteps counts scheduling iterations for Config.StepHook — loop-
+	// private so the hook fires without taking mu.
+	loopSteps int
 	// stepSessions/stepReqs/stepToks/chunk are reused across decode
 	// iterations so batch formation and the fused mixed step allocate
 	// nothing in steady state.
@@ -369,6 +443,12 @@ type Engine struct {
 	// aborted records that Close threw away pending requests: drains
 	// released by that path report ErrClosed, not success.
 	aborted bool
+	// failure, once non-nil, marks the engine failed: the step loop
+	// panicked, the recover boundary terminated every in-flight stream
+	// with an error token wrapping ErrEngineFailed, and all later Submits
+	// and Drains report this error. A failed engine never un-fails; the
+	// fleet layer quarantines it and routes around it.
+	failure error
 
 	wake chan struct{}
 	done chan struct{}
@@ -493,23 +573,47 @@ func (e *Engine) Submit(ctx context.Context, req Request) (<-chan Token, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if hook := e.cfg.SubmitHook; hook != nil {
+		if err := hook(); err != nil {
+			return nil, err
+		}
+	}
 	if req.Arrival < 0 {
 		// Stamp before enqueueing: time spent queued behind admission —
 		// batch slots, page budget, the loop's own iterations — is
 		// queueing delay the TTFT must include, not hide.
 		req.Arrival = e.now()
 	}
+	if req.Deadline < 0 {
+		// Explicitly no deadline: continuation re-admissions that already
+		// emitted tokens use this to opt out of AdmissionTimeout stamping
+		// (shedding a half-delivered stream would violate the TTFT
+		// contract the deadline models).
+		req.Deadline = 0
+	} else if req.Deadline == 0 && e.cfg.AdmissionTimeout > 0 {
+		req.Deadline = req.Arrival + e.cfg.AdmissionTimeout
+	}
+	// The channel is one slot larger than the token budget so a terminal
+	// error token (shed, engine failure) always fits without blocking.
 	rs := &reqState{
 		req:      req,
 		ctx:      ctx,
-		ch:       make(chan Token, req.MaxNew),
+		ch:       make(chan Token, req.MaxNew+1),
 		start:    -1,
 		firstTok: -1,
 	}
 	e.mu.Lock()
+	if e.failure != nil {
+		e.mu.Unlock()
+		return nil, e.failure
+	}
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if queued := len(e.queue); e.cfg.MaxQueue > 0 && queued >= e.cfg.MaxQueue {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d requests queued (bound %d)", ErrOverloaded, queued, e.cfg.MaxQueue)
 	}
 	// Wake the loop when the request's ctx is cancelled, so a queued
 	// request's stream closes promptly even while admission is blocked.
@@ -537,6 +641,10 @@ func (e *Engine) kick() {
 // everything submitted before the call ran to retirement.
 func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
+	if e.failure != nil {
+		e.mu.Unlock()
+		return e.failure
+	}
 	if e.closed {
 		e.mu.Unlock()
 		return ErrClosed
@@ -551,8 +659,11 @@ func (e *Engine) Drain(ctx context.Context) error {
 	select {
 	case <-w:
 		e.mu.Lock()
-		aborted := e.aborted
+		aborted, failure := e.aborted, e.failure
 		e.mu.Unlock()
+		if failure != nil {
+			return failure
+		}
 		if aborted {
 			return ErrClosed
 		}
@@ -560,6 +671,20 @@ func (e *Engine) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Now returns seconds since the engine epoch — the clock Request.Arrival
+// and Request.Deadline are measured on. Callers use it to turn a relative
+// TTFT budget into the absolute deadline Submit expects.
+func (e *Engine) Now() float64 { return e.now() }
+
+// Failed reports the engine's terminal failure (wrapping ErrEngineFailed),
+// or nil while the engine is healthy. The fleet layer polls it to
+// quarantine dead replicas and fail their requests over.
+func (e *Engine) Failed() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failure
 }
 
 // Close shuts the engine down: queued and running requests have their
@@ -635,8 +760,25 @@ func (e *Engine) syncViewLocked() {
 
 // loop is the scheduler: admit, form the iteration batch, preempt under
 // page pressure, step every running session one token, retire finishers.
+//
+// The loop runs behind a recover boundary — the panic-isolation half of
+// the fault-tolerance story. A panic anywhere in the iteration (the fused
+// compute plane, batch formation, an injected fault) is caught, the engine
+// marked failed, and every in-flight stream terminated with an error token
+// wrapping ErrEngineFailed instead of the panic unwinding into the process.
+// The fleet layer observes the closure, quarantines the engine, and fails
+// the requests over to healthy replicas via bit-identical replay. The
+// boundary covers the compute plane, which runs outside the engine mutex;
+// a panic raised while mu is held (plain counter bookkeeping) is outside
+// the failure model and would still crash by design — recovery must never
+// run against a lock whose critical section was abandoned halfway.
 func (e *Engine) loop() {
 	defer close(e.done)
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("%w: panic in scheduling iteration %d: %v", ErrEngineFailed, e.loopSteps, r))
+		}
+	}()
 	for {
 		e.mu.Lock()
 		if e.closed {
@@ -646,8 +788,21 @@ func (e *Engine) loop() {
 		}
 		e.admitLocked()
 		if len(e.running) == 0 {
+			wait := e.nextDeadlineWaitLocked()
 			e.mu.Unlock()
-			<-e.wake
+			if wait >= 0 {
+				// A queued request carries a TTFT deadline: sleep at most
+				// until it expires so shedding is prompt even while nothing
+				// is running (admission blocked on pages or batch slots).
+				t := time.NewTimer(wait)
+				select {
+				case <-e.wake:
+				case <-t.C:
+				}
+				t.Stop()
+			} else {
+				<-e.wake
+			}
 			continue
 		}
 		e.mu.Unlock()
@@ -661,6 +816,73 @@ func (e *Engine) loop() {
 	}
 }
 
+// nextDeadlineWaitLocked returns how long the idle loop may sleep before
+// the earliest queued TTFT deadline expires, or -1 when no queued request
+// carries one. The caller holds mu.
+func (e *Engine) nextDeadlineWaitLocked() time.Duration {
+	wait := time.Duration(-1)
+	now := e.now()
+	for _, rs := range e.queue {
+		if rs.req.Deadline <= 0 {
+			continue
+		}
+		d := time.Duration((rs.req.Deadline - now) * float64(time.Second))
+		if d < 0 {
+			d = 0
+		}
+		if wait < 0 || d < wait {
+			wait = d
+		}
+	}
+	return wait
+}
+
+// fail is the recover boundary's landing: mark the engine failed and
+// terminate every queued and running stream with an error token. It runs
+// on the loop goroutine after the panic unwound it, so no scheduling can
+// race it; Submit and Drain observe failure under mu.
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.failure = err
+	for _, rs := range e.queue {
+		e.failStreamLocked(rs, err)
+	}
+	e.queue = nil
+	for _, rs := range e.running {
+		rs.sess, rs.cache = nil, nil
+		e.failStreamLocked(rs, err)
+	}
+	e.running = nil
+	e.usedPages = 0
+	if e.prefixCache != nil {
+		e.usedPages = kvcache.PagesFor(len(e.cfg.SharedPrefix), e.cfg.PageTokens)
+	}
+	e.runningLoad = 0
+	e.syncViewLocked()
+	for _, w := range e.waiters {
+		close(w)
+	}
+	e.waiters = nil
+}
+
+// failStreamLocked terminates one request's stream with an error token and
+// drops it from the pending count. The caller holds mu. The channel always
+// has room for the error token (it is sized MaxNew+1 and a live request
+// has emitted at most MaxNew); the select guards the impossible case
+// rather than deadlocking the recovery path on it.
+func (e *Engine) failStreamLocked(rs *reqState, err error) {
+	if rs.stopWatch != nil {
+		rs.stopWatch()
+	}
+	select {
+	case rs.ch <- Token{Err: err}:
+	default:
+	}
+	close(rs.ch)
+	e.pending--
+}
+
 // admitLocked moves queued requests into the running set, policy-ordered,
 // while batch slots and prompt pages are available. Admission only
 // allocates: it builds the request's cache (cold, or a copy-on-write clone
@@ -668,12 +890,23 @@ func (e *Engine) loop() {
 // under the lock — the prompt prefills chunk by chunk inside the iteration
 // loop, interleaved with running decodes (stepOnce).
 func (e *Engine) admitLocked() {
-	// Reap cancelled queued requests first: their streams must close even
-	// when admission is blocked on batch slots or pages.
+	// Reap cancelled and deadline-expired queued requests first: their
+	// streams must close even when admission is blocked on batch slots or
+	// pages — a blocked queue is exactly when deadlines blow.
+	now := e.now()
 	kept := e.queue[:0]
 	for _, rs := range e.queue {
 		if rs.ctx.Err() != nil {
-			e.retireLocked(rs, false)
+			e.retireLocked(rs, dispCancelled)
+			continue
+		}
+		if rs.req.Deadline > 0 && now > rs.req.Deadline {
+			// Shed: the TTFT deadline passed before prefill could start, so
+			// pages spent on this request would produce only SLO-blown
+			// tokens. Terminate the stream with the typed error token.
+			rs.ch <- Token{Err: fmt.Errorf("%w: queued %.0fms past arrival (deadline %.0fms)",
+				ErrDeadlineExceeded, 1e3*(now-rs.req.Arrival), 1e3*(rs.req.Deadline-rs.req.Arrival))}
+			e.retireLocked(rs, dispShed)
 			continue
 		}
 		kept = append(kept, rs)
@@ -684,7 +917,7 @@ func (e *Engine) admitLocked() {
 		rs := e.queue[i]
 		if rs.ctx.Err() != nil {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			e.retireLocked(rs, false)
+			e.retireLocked(rs, dispCancelled)
 			continue
 		}
 		prompt := rs.req.Prompt
@@ -740,7 +973,7 @@ func (e *Engine) admitLocked() {
 		}
 		if err != nil {
 			// Cannot happen for a validated request; retire defensively.
-			e.retireLocked(rs, false)
+			e.retireLocked(rs, dispCancelled)
 			continue
 		}
 		rs.sess, rs.cache = nil, cache
@@ -879,7 +1112,7 @@ func (e *Engine) reapCancelled() {
 			e.mu.Lock()
 			e.runningLoad -= rs.load
 			rs.load = 0
-			e.retireLocked(rs, false)
+			e.retireLocked(rs, dispCancelled)
 			e.mu.Unlock()
 			reaped = true
 			continue
@@ -902,6 +1135,13 @@ func (e *Engine) reapCancelled() {
 // full prefill would have produced, without ever stalling the running
 // batch for more than one chunk's step time.
 func (e *Engine) stepOnce() {
+	e.loopSteps++
+	if e.cfg.StepHook != nil {
+		// Fault-injection seam: runs outside mu so an injected panic lands
+		// on the recover boundary with no lock held, exactly like a panic
+		// in the fused compute pass below.
+		e.cfg.StepHook(e.loopSteps)
+	}
 	stepStart := time.Now()
 	// Partition the running set: decode lanes step, and the first
 	// mid-prefill request in admission order contributes this iteration's
@@ -1017,7 +1257,7 @@ func (e *Engine) stepOnce() {
 			rs.sess, rs.cache = nil, nil
 			e.runningLoad -= rs.load
 			rs.load = 0
-			e.retireLocked(rs, true)
+			e.retireLocked(rs, dispCompleted)
 			rs.retired = true
 			retired = true
 		}
@@ -1052,9 +1292,19 @@ func (e *Engine) stepOnce() {
 	}
 }
 
+// disposition names why a request retired — the counter it lands in.
+type disposition int
+
+const (
+	dispCompleted disposition = iota // ran to its token cap
+	dispCancelled                    // caller's ctx ended it
+	dispShed                         // dropped past its TTFT deadline
+)
+
 // retireLocked closes a request's stream and records its outcome. The
-// caller holds mu and has already released the request's pages.
-func (e *Engine) retireLocked(rs *reqState, completed bool) {
+// caller holds mu, has already released the request's pages, and — for a
+// shed request — has already sent the terminal error token.
+func (e *Engine) retireLocked(rs *reqState, disp disposition) {
 	if rs.stopWatch != nil {
 		rs.stopWatch()
 	}
@@ -1082,9 +1332,12 @@ func (e *Engine) retireLocked(rs *reqState, completed bool) {
 		Finish:      now,
 		Preemptions: rs.preempts,
 	})
-	if completed {
+	switch disp {
+	case dispCompleted:
 		e.stats.Completed++
-	} else {
+	case dispShed:
+		e.stats.Shed++
+	default:
 		e.stats.Cancelled++
 	}
 	e.pending--

@@ -2,9 +2,11 @@ package rethinkkv
 
 import (
 	"fmt"
+	"time"
 
 	"rethinkkv/internal/compress"
 	"rethinkkv/internal/engine"
+	"rethinkkv/internal/faults"
 	"rethinkkv/internal/gpu"
 	"rethinkkv/internal/model"
 )
@@ -36,6 +38,10 @@ type config struct {
 	sharedPrefix []int
 	routerName   string
 	migrate      bool
+
+	maxQueue         int
+	admissionTimeout time.Duration
+	faults           *FaultPlan
 }
 
 func defaultConfig() config {
@@ -181,6 +187,64 @@ func WithRealEngine() Option { return func(c *config) { c.realEngine = true } }
 // "kv-pressure". Default: RouterBaseline. Cluster.ServeTrace takes its
 // router as an argument instead and ignores this option.
 func WithRouter(name string) Option { return func(c *config) { c.routerName = name } }
+
+// WithMaxQueue bounds the admission queue of each serving engine: a Submit
+// finding n requests already queued (admitted-but-not-started) fails fast
+// with ErrOverloaded instead of growing the backlog without limit — the
+// caller sees back-pressure while its request is still cheap to retry
+// elsewhere. 0 (the default) leaves the queue unbounded. Applies per
+// engine: a fleet of k engines holds up to k×n queued requests.
+func WithMaxQueue(n int) Option { return func(c *config) { c.maxQueue = n } }
+
+// WithAdmissionTimeout sets the default TTFT deadline stamped on every
+// request that does not carry its own ServeRequest.Deadline: a request
+// still queued — no token streamed — that long after submission is shed,
+// its stream ending with a token whose Err wraps ErrDeadlineExceeded,
+// instead of burning KV pages on work that already blew its SLO. Requests
+// that started streaming are never shed. 0 (the default) disables
+// deadline shedding.
+func WithAdmissionTimeout(d time.Duration) Option {
+	return func(c *config) { c.admissionTimeout = d }
+}
+
+// FaultPlan schedules deterministic faults for WithFaults: every entry is
+// keyed by engine index (0 for a standalone Server) and triggers on the
+// engine's own event stream — its Nth scheduling iteration, its Nth Submit
+// — so a chaos scenario replays identically across runs and machines.
+type FaultPlan struct {
+	// Seed feeds PickVictim, so seed sweeps vary which engine a scenario
+	// targets without varying the fault mechanism.
+	Seed uint64
+	// StepPanics maps engine index -> 1-based scheduling iteration at
+	// which that engine's step loop panics, once. The recover boundary
+	// turns the panic into a quarantined engine (ErrEngineFailed); a
+	// fleet fails the engine's requests over to healthy replicas.
+	StepPanics map[int]int
+	// SubmitStorms maps engine index -> how many consecutive Submits that
+	// engine rejects with ErrOutOfPages — transient capacity exhaustion,
+	// as a loaded migration target reports under real page pressure.
+	SubmitStorms map[int]int
+	// StepDelays maps engine index -> extra latency added to each of its
+	// scheduling iterations — the slow-replica shape that exercises
+	// deadline shedding without killing anything.
+	StepDelays map[int]time.Duration
+}
+
+// PickVictim deterministically chooses one of n engines from the plan's
+// seed and a salt — chaos scenarios use it to pick which engine to kill so
+// seed sweeps vary the victim, not the mechanism.
+func (fp FaultPlan) PickVictim(n int, salt uint64) int {
+	return faults.New(fp.Seed).Pick(n, salt)
+}
+
+// WithFaults installs a deterministic fault-injection plan on the serving
+// engines (NewServer, NewFleet) — test and chaos-benchmark scaffolding for
+// exercising panic isolation, failover and deadline shedding at exact,
+// replayable points in each engine's execution. The plan is copied. No
+// faults are injected when the option is absent.
+func WithFaults(plan FaultPlan) Option {
+	return func(c *config) { c.faults = &plan }
+}
 
 // WithMigration toggles cross-engine migration of preemption victims on
 // the real multi-engine paths (NewFleet, and Cluster.ServeTrace under

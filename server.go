@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"rethinkkv/internal/faults"
 	"rethinkkv/internal/fleet"
 	"rethinkkv/internal/kvcache"
 	"rethinkkv/internal/model"
@@ -27,6 +29,12 @@ func translateServeErr(err error) error {
 		return ErrServerClosed
 	case errors.Is(err, fleet.ErrBadRoute):
 		return fmt.Errorf("%w (%v)", ErrBadRoute, err)
+	case errors.Is(err, sched.ErrOverloaded):
+		return fmt.Errorf("%w (%v)", ErrOverloaded, err)
+	case errors.Is(err, sched.ErrDeadlineExceeded):
+		return fmt.Errorf("%w (%v)", ErrDeadlineExceeded, err)
+	case errors.Is(err, sched.ErrEngineFailed):
+		return fmt.Errorf("%w (%v)", ErrEngineFailed, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return err
 	default:
@@ -44,6 +52,13 @@ type ServeRequest struct {
 	// Predicted is the predicted response length the sjf-predicted policy
 	// orders by; 0 falls back to MaxNew.
 	Predicted int
+	// Deadline, if positive, is the request's TTFT budget measured from
+	// this Submit call: a request still queued — no token streamed — when
+	// it expires is shed, its stream closing with a final token whose Err
+	// wraps ErrDeadlineExceeded. 0 uses the WithAdmissionTimeout default
+	// (none if unset). Once a request streams its first token it is never
+	// shed, however late it finishes.
+	Deadline time.Duration
 }
 
 // ServerStats is a snapshot of the scheduler's lifetime counters.
@@ -59,6 +74,10 @@ type ServerStats struct {
 	Preemptions int
 	// Completed and Cancelled count retired requests.
 	Completed, Cancelled int
+	// Shed counts requests dropped from the admission queue because their
+	// TTFT deadline (ServeRequest.Deadline / WithAdmissionTimeout) passed
+	// before decode started — deliberate load shedding, not failure.
+	Shed int
 	// PeakRunning is the largest concurrent decode batch formed.
 	PeakRunning int
 	// PeakKVPages is the most KV pages simultaneously in use.
@@ -97,6 +116,7 @@ func serverStatsFrom(st sched.Stats) ServerStats {
 		Preemptions:         st.Preemptions,
 		Completed:           st.Completed,
 		Cancelled:           st.Cancelled,
+		Shed:                st.Shed,
 		PeakRunning:         st.PeakRunning,
 		PeakKVPages:         st.PeakPages,
 		PrefillChunks:       st.PrefillChunks,
@@ -145,6 +165,10 @@ func NewServer(opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
 	case cfg.sparseTopK < 0:
 		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
+	case cfg.maxQueue < 0:
+		return nil, fmt.Errorf("%w: negative admission queue bound %d", ErrInvalidOption, cfg.maxQueue)
+	case cfg.admissionTimeout < 0:
+		return nil, fmt.Errorf("%w: negative admission timeout %v", ErrInvalidOption, cfg.admissionTimeout)
 	}
 	if cfg.schedPol != SchedFCFS && cfg.schedPol != SchedSJF {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownPolicy, cfg.schedPol)
@@ -160,20 +184,45 @@ func NewServer(opts ...Option) (*Server, error) {
 	}
 	m := model.New(model.Tiny(), cfg.seed)
 	m.SetSparseTopK(cfg.sparseTopK)
-	eng, err := sched.New(m, sched.Config{
-		MaxBatch:     cfg.maxBatch,
-		PageTokens:   cfg.pageTokens,
-		KVPages:      cfg.kvPages,
-		MaxNew:       cfg.maxNew,
-		PrefillChunk: cfg.prefillChunk,
-		Policy:       cfg.schedPol,
-		KVQuantBits:  quantBits,
-		SharedPrefix: cfg.sharedPrefix,
-	})
+	scfg := sched.Config{
+		MaxBatch:         cfg.maxBatch,
+		PageTokens:       cfg.pageTokens,
+		KVPages:          cfg.kvPages,
+		MaxNew:           cfg.maxNew,
+		PrefillChunk:     cfg.prefillChunk,
+		Policy:           cfg.schedPol,
+		KVQuantBits:      quantBits,
+		SharedPrefix:     cfg.sharedPrefix,
+		MaxQueue:         cfg.maxQueue,
+		AdmissionTimeout: cfg.admissionTimeout.Seconds(),
+	}
+	if cfg.faults != nil {
+		// A standalone server is engine 0 of its own one-replica fleet.
+		inj := buildInjector(cfg.faults)
+		scfg.StepHook = inj.StepHook(0)
+		scfg.SubmitHook = inj.SubmitHook(0)
+	}
+	eng, err := sched.New(m, scfg)
 	if err != nil {
 		return nil, translateServeErr(err)
 	}
 	return &Server{cfg: cfg, eng: eng}, nil
+}
+
+// buildInjector materialises a FaultPlan into the internal deterministic
+// injector the engines consume.
+func buildInjector(plan *FaultPlan) *faults.Injector {
+	inj := faults.New(plan.Seed)
+	for gpu, step := range plan.StepPanics {
+		inj.PanicAt(gpu, step)
+	}
+	for gpu, n := range plan.SubmitStorms {
+		inj.SubmitStorm(gpu, n)
+	}
+	for gpu, d := range plan.StepDelays {
+		inj.Delay(gpu, d)
+	}
+	return inj
 }
 
 // Vocab returns the served model's vocabulary size.
@@ -183,11 +232,23 @@ func (s *Server) Vocab() int { return model.Tiny().Vocab }
 // buffered to the request's full budget (the server never blocks on a slow
 // consumer) and closes when the request completes, ctx is cancelled, or
 // the server shuts down. Submission fails fast with ErrOutOfPages when the
-// request cannot fit the page budget even running alone, and with
-// ErrServerClosed after Close.
+// request cannot fit the page budget even running alone, with
+// ErrOverloaded when the WithMaxQueue admission bound is full, and with
+// ErrServerClosed after Close. A request that is admitted but shed past
+// its TTFT deadline, or orphaned by an engine failure, ends its stream
+// with a final token whose Err wraps ErrDeadlineExceeded or
+// ErrEngineFailed; tokens with Err == nil are ordinary output.
 func (s *Server) Submit(ctx context.Context, req ServeRequest) (<-chan Token, error) {
 	if err := validatePrompt(req.Prompt, s.Vocab()); err != nil {
 		return nil, err
+	}
+	var dl float64
+	if req.Deadline > 0 {
+		dl = s.eng.Now() + req.Deadline.Seconds()
+	}
+	maxNew := req.MaxNew
+	if maxNew <= 0 {
+		maxNew = s.cfg.maxNew
 	}
 	ch, err := s.eng.Submit(ctx, sched.Request{
 		ID:        int(s.nextID.Add(1)) - 1, // submission order, 0-based
@@ -195,11 +256,31 @@ func (s *Server) Submit(ctx context.Context, req ServeRequest) (<-chan Token, er
 		MaxNew:    req.MaxNew,
 		Predicted: req.Predicted,
 		Arrival:   -1, // stamp at submit time
+		Deadline:  dl,
 	})
 	if err != nil {
 		return nil, translateServeErr(err)
 	}
-	return ch, nil
+	return translateStream(ch, maxNew+1), nil
+}
+
+// translateStream forwards an engine stream, rewriting any terminal error
+// token's Err onto the public sentinels (translateServeErr) so stream
+// consumers can errors.Is against rethinkkv.Err*. The buffer matches the
+// engine-side stream (token budget plus one error slot), so forwarding
+// never blocks on a slow consumer any more than the engine itself would.
+func translateStream(ch <-chan sched.Token, buf int) <-chan Token {
+	out := make(chan Token, buf)
+	go func() {
+		defer close(out)
+		for tok := range ch {
+			if tok.Err != nil {
+				tok.Err = translateServeErr(tok.Err)
+			}
+			out <- tok
+		}
+	}()
+	return out
 }
 
 // Drain blocks until every request submitted so far has retired, or ctx is
@@ -223,6 +304,12 @@ func (s *Server) Outcomes() []Outcome { return s.eng.Outcomes() }
 func (s *Server) Stats() ServerStats {
 	return serverStatsFrom(s.eng.Stats())
 }
+
+// Failed reports the server's terminal failure (wrapping ErrEngineFailed)
+// or nil while it is healthy. A failed server rejects new Submits and
+// reports the same error from Drain; its live streams ended with an error
+// token when the failure struck.
+func (s *Server) Failed() error { return translateServeErr(s.eng.Failed()) }
 
 // PageBudget returns the engine's effective KV page budget: WithKVPages(n)
 // as-is for full-precision pages, or the larger page count the same byte
