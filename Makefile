@@ -53,10 +53,12 @@ BENCH_PKGS = . ./internal/model ./internal/attention
 # quantized-decode cases BenchmarkDecodeSteadyQuant / the PagedStridedQuant
 # benches, and the sparse-attention cases BenchmarkDecodeSteadySparse /
 # BenchmarkPagedStridedSparse / BenchmarkQuestSummaries) and re-pins the
-# dequantize-on-stream and sparse-selection decode paths at 0 allocs/step.
+# dequantize-on-stream and sparse-selection decode paths — plus the
+# budget-packed mixed prefill+decode pass (multiple prompts' chunks in one
+# fused step) — at 0 allocs/step.
 bench-smoke:
 	$(GO) test -run XXX -bench=. -benchtime=1x $(BENCH_PKGS)
-	$(GO) test -run 'TestQuantDecodeAllocs|TestPagedStridedQuantZeroAlloc|TestQuantStridedKernelsZeroAlloc|TestSparseDecodeAllocs|TestSparseAttentionZeroAlloc' ./internal/model ./internal/attention ./internal/tensor
+	$(GO) test -run 'TestQuantDecodeAllocs|TestPagedStridedQuantZeroAlloc|TestQuantStridedKernelsZeroAlloc|TestSparseDecodeAllocs|TestSparseAttentionZeroAlloc|TestForwardMixedPackedAllocFree|TestStepMixedPackedAllocFree' ./internal/model ./internal/attention ./internal/tensor ./internal/core
 
 # bench runs the decode and attention hot-path benchmarks with allocation
 # reporting (compare BenchmarkDecodeSteady / BenchmarkDecodeSteadyBatched /
@@ -64,7 +66,9 @@ bench-smoke:
 # benchmark (compare against BENCH_serve.json; regenerate with
 # `make bench-serve`), including the long-prompt chunked-prefill scenario
 # (one 512-token prompt arriving over a full decode batch; see
-# long_prompt_scenario in BENCH_serve.json). Decode benches run at -cpu 1,4
+# long_prompt_scenario in BENCH_serve.json) and its k-prompt burst
+# sub-scenario (4 simultaneous 512-token arrivals swept over per-iteration
+# token budgets; see k_prompt_burst). Decode benches run at -cpu 1,4
 # so both the serial fused step and the row/lane-sharded parallel step are
 # exercised; servebench runs at GOMAXPROCS>1 for the same reason (on a
 # single-core machine the sharded paths still execute, they just
@@ -88,6 +92,8 @@ bench:
 # -chaos 4 adds the goodput-under-failure curve (chaos_scenario): seeded
 # mid-decode panics kill 0/1/2 of 4 engines, failover keeps every stream
 # token-identical to the no-fault run, and relative goodput is compared
-# against the surviving capacity fraction.
+# against the surviving capacity fraction. The long-prompt scenario's
+# k_prompt_burst sub-scenario (on by default) sweeps WithTokenBudget over a
+# 4-prompt arrival burst: aggregate TTFT vs the single-chunk baseline.
 bench-serve:
 	$(GO) run ./cmd/servebench -fleet 4 -kvquant fp32,int8,int4 -sparse 8,32 -chaos 4 -out BENCH_serve.json

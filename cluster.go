@@ -111,6 +111,9 @@ func NewCluster(methods []string, opts ...Option) (*Cluster, error) {
 		// NewServer rather than mid-ServeTrace with an untyped error.
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
 	}
+	if cfg.tokenBudget < 0 {
+		return nil, fmt.Errorf("%w: negative token budget %d", ErrInvalidOption, cfg.tokenBudget)
+	}
 	if _, err := resolveKVQuant(cfg.kvQuant); err != nil {
 		// Real-engine-only as well: the simulator models compression
 		// methods, not live page precision, but fail fast here too.
@@ -226,6 +229,7 @@ func (c *Cluster) serveTraceReal(reqs []Request, r Router) ([]Outcome, error) {
 			KVPages:      c.cfg.kvPages,
 			MaxNew:       c.cfg.maxNew,
 			PrefillChunk: c.cfg.prefillChunk,
+			TokenBudget:  c.cfg.tokenBudget,
 			Policy:       c.cfg.schedPol,
 			KVQuantBits:  quantBits,
 			Epoch:        epoch,

@@ -216,6 +216,7 @@ type longPromptScenario struct {
 	LongPromptTokens int                `json:"long_prompt_tokens"`
 	DecoderMaxNew    int                `json:"decoder_max_new"`
 	Runs             []longPromptResult `json:"runs"`
+	Burst            *burstScenario     `json:"k_prompt_burst,omitempty"`
 }
 
 type longPromptResult struct {
@@ -224,6 +225,37 @@ type longPromptResult struct {
 	MaxDecodeGapMs float64 `json:"max_decode_gap_ms_during_prefill"`
 	PrefillChunks  int     `json:"prefill_chunks"`
 	MixedSteps     int     `json:"mixed_steps"`
+}
+
+// burstScenario measures what the per-iteration token budget exists for: k
+// long prompts arriving at once while a batch decodes. In single-chunk mode
+// (budget 0) the prompts prefill one at a time, so the j-th prompt's TTFT
+// grows linearly in j; under a budget every iteration packs chunks from all
+// k prompts into one weight-stationary pass, so the aggregate TTFT collapses
+// toward a single prompt's — without ever stalling the decode streams for
+// more than one budgeted pass.
+type burstScenario struct {
+	Description  string        `json:"description"`
+	Prompts      int           `json:"prompts"`
+	PromptTokens int           `json:"prompt_tokens"`
+	Decoders     int           `json:"decoders"`
+	PrefillChunk int           `json:"prefill_chunk"`
+	Runs         []burstResult `json:"runs"`
+}
+
+type burstResult struct {
+	TokenBudget int `json:"token_budget"` // 0 = single-chunk baseline
+	// AggregateTTFTMs is the burst's collective TTFT: submit until every
+	// prompt in the burst has streamed its first token. MeanTTFTMs averages
+	// the individual TTFTs (greedy oldest-first packing front-loads early
+	// arrivals, so the mean stays close to sequential's).
+	AggregateTTFTMs      float64 `json:"aggregate_ttft_ms"`
+	MeanTTFTMs           float64 `json:"mean_ttft_ms"`
+	MaxDecodeGapMs       float64 `json:"max_decode_gap_ms_during_prefill"`
+	PrefillChunks        int     `json:"prefill_chunks"`
+	PackedChunks         int     `json:"packed_chunks"`
+	MixedSteps           int     `json:"mixed_steps"`
+	AggregateTTFTSpeedup float64 `json:"aggregate_ttft_speedup_vs_single_chunk"`
 }
 
 type workloadDesc struct {
@@ -253,6 +285,10 @@ func main() {
 	rates := flag.String("rates", "0,25,100", "comma-separated arrival rates (rps; 0 = closed loop)")
 	longLen := flag.Int("longprompt", 512, "long-prompt scenario prompt length (0 disables the scenario)")
 	longChunks := flag.String("longchunks", "whole,64,16", "prefill chunk settings for the long-prompt scenario ('whole' = unchunked)")
+	burstPrompts := flag.Int("burstprompts", 4, "k-prompt burst sub-scenario: simultaneous long-prompt arrivals (0 disables)")
+	burstBudgets := flag.String("burstbudgets", "0,24,40,72", "comma-separated per-iteration token budgets for the burst sub-scenario (0 = single-chunk baseline)")
+	burstChunk := flag.Int("burstchunk", 16, "prefill chunk size for the burst sub-scenario (small chunks bound the decode stall; the budget packs them to win back the pass overhead)")
+	burstReps := flag.Int("burstreps", 3, "serving repetitions per burst budget (interleaved; the best aggregate TTFT is reported)")
 	fleetN := flag.Int("fleet", 0, "fleet scenario engine count (0 disables the scenario)")
 	fleetRouters := flag.String("routers", "baseline,w/both,w/length,kv-pressure", "router policies for the fleet scenario")
 	fleetReqs := flag.Int("fleetreqs", 16, "fleet scenario concurrent requests")
@@ -351,6 +387,13 @@ func main() {
 		sc, err := runLongPromptScenario(*batch, *longLen, *longChunks, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if *burstPrompts > 0 {
+			b, err := runBurstScenario(*burstPrompts, *batch, *longLen, *burstChunk, *burstBudgets, *burstReps, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			sc.Burst = b
 		}
 		rep.LongPrompt = sc
 	}
@@ -598,6 +641,170 @@ func runLongPromptScenario(decoders, longLen int, chunkSpec string, seed uint64)
 		sc.Runs = append(sc.Runs, r)
 		fmt.Fprintf(os.Stderr, "longprompt chunk=%-5s ttft %7.1fms   max decode gap %7.1fms   mixed steps %d\n",
 			spec, r.LongTTFTMs, r.MaxDecodeGapMs, r.MixedSteps)
+	}
+	return sc, nil
+}
+
+// runBurstScenario is the stall-free-batching acceptance curve: k long
+// prompts submitted back-to-back while a full batch decodes, swept over
+// per-iteration token budgets. Budget 0 is the single-chunk baseline — the
+// pre-budget scheduler, one prompt's chunk per iteration — which spends one
+// pass of decode-lane work per chunk across the whole burst, so the burst
+// window drags through k*L/chunk passes. A budget packs chunks from every
+// burst prompt into each pass, shrinking the window to ~L/chunk passes.
+// Settings run interleaved for reps rounds (best aggregate TTFT per budget
+// reported) so scheduler noise on a shared box cannot masquerade as a win.
+func runBurstScenario(k, decoders, longLen, chunk int, budgetSpec string, reps int, seed uint64) (*burstScenario, error) {
+	const vocab = 512
+	const decoderMaxNew = 160
+	sc := &burstScenario{
+		Description:  "k long prompts arriving at once while a full batch decodes, swept over per-iteration token budgets. Budget 0 serves the burst one chunk per iteration (single-chunk mode), so the burst prefill window spans k*L/chunk passes, each also paying the decode lanes. A budget packs chunks from every burst prompt into each weight-stationary pass, collapsing the window toward L/chunk passes — aggregate TTFT (submit until every burst prompt has streamed its first token) improves while the decode gap stays bounded by one budgeted pass. Best of reps interleaved rounds per setting.",
+		Prompts:      k,
+		PromptTokens: longLen,
+		Decoders:     decoders,
+		PrefillChunk: chunk,
+	}
+	prompts := make([][]int, k)
+	for i := range prompts {
+		p := make([]int, longLen)
+		for j := range p {
+			p[j] = int((uint64(j)*2654435761 + uint64(i)*97 + seed) % vocab)
+		}
+		prompts[i] = p
+	}
+	var budgets []int
+	for _, spec := range strings.Split(budgetSpec, ",") {
+		budget, err := strconv.Atoi(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, fmt.Errorf("bad burst budget %q: %w", spec, err)
+		}
+		budgets = append(budgets, budget)
+	}
+	runOnce := func(budget int) (burstResult, error) {
+		srv, err := rethinkkv.NewServer(
+			rethinkkv.WithSeed(seed),
+			rethinkkv.WithMaxNewTokens(decoderMaxNew),
+			rethinkkv.WithMaxBatch(decoders+k),
+			rethinkkv.WithPageTokens(16),
+			rethinkkv.WithPrefillChunk(chunk),
+			rethinkkv.WithTokenBudget(budget),
+		)
+		if err != nil {
+			return burstResult{}, err
+		}
+		// Background decoders, every token's arrival stamped.
+		var mu sync.Mutex
+		stamps := make([][]time.Time, decoders)
+		var started sync.WaitGroup
+		var drained sync.WaitGroup
+		started.Add(decoders)
+		drained.Add(decoders)
+		for i := 0; i < decoders; i++ {
+			prompt := []int{int((uint64(i)*31 + seed) % vocab), int((uint64(i)*17 + 3) % vocab)}
+			ch, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+			if err != nil {
+				srv.Close()
+				return burstResult{}, err
+			}
+			go func(i int, ch <-chan rethinkkv.Token) {
+				first := true
+				for range ch {
+					now := time.Now()
+					mu.Lock()
+					stamps[i] = append(stamps[i], now)
+					mu.Unlock()
+					if first {
+						started.Done()
+						first = false
+					}
+				}
+				drained.Done()
+			}(i, ch)
+		}
+		started.Wait() // every decoder mid-stream before the burst lands
+
+		submitAt := time.Now()
+		firsts := make([]time.Time, k)
+		var burstWG sync.WaitGroup
+		burstWG.Add(k)
+		for i, prompt := range prompts {
+			ch, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt, MaxNew: 8})
+			if err != nil {
+				srv.Close()
+				return burstResult{}, err
+			}
+			go func(i int, ch <-chan rethinkkv.Token) {
+				defer burstWG.Done()
+				for range ch {
+					if firsts[i].IsZero() {
+						firsts[i] = time.Now()
+					}
+				}
+			}(i, ch)
+		}
+		burstWG.Wait()
+		drained.Wait()
+		st := srv.Stats()
+		srv.Close()
+
+		var sumTTFT, maxTTFT float64
+		lastFirst := submitAt
+		for _, ft := range firsts {
+			ttft := ft.Sub(submitAt).Seconds()
+			sumTTFT += ttft
+			if ttft > maxTTFT {
+				maxTTFT = ttft
+			}
+			if ft.After(lastFirst) {
+				lastFirst = ft
+			}
+		}
+		// Worst decoder gap whose span overlaps the burst prefill window.
+		maxGap := time.Duration(0)
+		for i := range stamps {
+			for j := 1; j < len(stamps[i]); j++ {
+				t0, t1 := stamps[i][j-1], stamps[i][j]
+				if t1.Before(submitAt) || t0.After(lastFirst) {
+					continue
+				}
+				if gap := t1.Sub(t0); gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		return burstResult{
+			TokenBudget:     budget,
+			AggregateTTFTMs: 1000 * maxTTFT,
+			MeanTTFTMs:      1000 * sumTTFT / float64(k),
+			MaxDecodeGapMs:  1000 * maxGap.Seconds(),
+			PrefillChunks:   st.PrefillChunks,
+			PackedChunks:    st.PackedChunks,
+			MixedSteps:      st.MixedSteps,
+		}, nil
+	}
+
+	best := make([]burstResult, len(budgets))
+	for rep := 0; rep < reps; rep++ {
+		for i, budget := range budgets {
+			r, err := runOnce(budget)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || r.AggregateTTFTMs < best[i].AggregateTTFTMs {
+				best[i] = r
+			}
+		}
+	}
+	var baseline float64
+	for _, r := range best {
+		if r.TokenBudget == 0 {
+			baseline = r.AggregateTTFTMs
+		} else if baseline > 0 && r.AggregateTTFTMs > 0 {
+			r.AggregateTTFTSpeedup = baseline / r.AggregateTTFTMs
+		}
+		sc.Runs = append(sc.Runs, r)
+		fmt.Fprintf(os.Stderr, "burst k=%d budget=%-4d aggregate ttft %7.1fms   mean ttft %7.1fms   max decode gap %6.1fms   packed chunks %d\n",
+			k, r.TokenBudget, r.AggregateTTFTMs, r.MeanTTFTMs, r.MaxDecodeGapMs, r.PackedChunks)
 	}
 	return sc, nil
 }

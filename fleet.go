@@ -86,11 +86,22 @@ func (s FleetStats) Preemptions() int {
 	return n
 }
 
+// PackedChunks sums budget-packed prefill chunks across engines (see
+// ServerStats.PackedChunks / WithTokenBudget).
+func (s FleetStats) PackedChunks() int {
+	n := 0
+	for _, e := range s.Engines {
+		n += e.PackedChunks
+	}
+	return n
+}
+
 // NewFleet starts n continuous-batching engines behind the routing policy
 // selected by WithRouter (default baseline; see FleetRouters()). Engine
 // sizing reuses the Server options — WithSeed, WithMaxNewTokens,
 // WithMaxBatch, WithKVPages, WithPageTokens, WithPrefillChunk,
-// WithSchedPolicy, WithSharedPrefix — applied to every engine; the page
+// WithTokenBudget, WithSchedPolicy, WithSharedPrefix — applied to every
+// engine; the page
 // budget is per engine, so a fleet holds n× the KV of one Server.
 // Cross-engine migration is on by default (WithMigration). Close the fleet
 // when done.
@@ -110,6 +121,8 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
 	case cfg.prefillChunk <= 0:
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	case cfg.tokenBudget < 0:
+		return nil, fmt.Errorf("%w: negative token budget %d", ErrInvalidOption, cfg.tokenBudget)
 	case cfg.sparseTopK < 0:
 		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
 	case cfg.maxQueue < 0:
@@ -145,6 +158,7 @@ func NewFleet(n int, opts ...Option) (*Fleet, error) {
 			KVPages:          cfg.kvPages,
 			MaxNew:           cfg.maxNew,
 			PrefillChunk:     cfg.prefillChunk,
+			TokenBudget:      cfg.tokenBudget,
 			Policy:           cfg.schedPol,
 			KVQuantBits:      quantBits,
 			SharedPrefix:     cfg.sharedPrefix,

@@ -107,6 +107,7 @@ type StepBatch struct {
 	tokens    []int
 	positions []int
 	caches    []kvcache.Cache
+	chunks    []model.Chunk
 }
 
 // Batch exposes the underlying fused batch workspace, for callers that
@@ -121,6 +122,14 @@ func (sb *StepBatch) ensure(n int) {
 		sb.tokens = make([]int, n)
 		sb.positions = make([]int, n)
 		sb.caches = make([]kvcache.Cache, n)
+	}
+}
+
+// ensureChunks grows the reusable model.Chunk marshalling scratch to at
+// least k entries, keeping packed mixed steps allocation-free.
+func (sb *StepBatch) ensureChunks(k int) {
+	if cap(sb.chunks) < k {
+		sb.chunks = make([]model.Chunk, k)
 	}
 }
 
@@ -146,6 +155,9 @@ func (p *WorkspacePool) PutBatch(sb *StepBatch) {
 	}
 	for i := range sb.caches {
 		sb.caches[i] = nil
+	}
+	for i := range sb.chunks {
+		sb.chunks[i] = model.Chunk{}
 	}
 	p.mu.Lock()
 	p.freeBatch = append(p.freeBatch, sb)
@@ -340,35 +352,41 @@ type PrefillChunk struct {
 	Final  bool
 }
 
-// StepMixedInto is StepAllInto plus at most one prefill chunk carried in
-// the same fused pass: every running session advances one token and the
-// chunk's positions prefill into its cache, with each weight matrix loaded
-// once for all of it (model.ForwardMixedInto). Emitted tokens are
-// bit-identical to per-session stepping and the chunk's cache writes to
-// token-at-a-time prefill. It returns the chunk request's first decode
-// token when chunk.Final, else -1. A nil chunk is exactly StepAllInto;
-// an empty session set runs the chunk alone (pure prefill iteration).
-// Sessions not sharing the pool's model fall back to per-goroutine steps
-// with the chunk fused separately.
-func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunk *PrefillChunk) int {
-	return StepMixedStatsInto(pool, sessions, toks, chunk, nil)
+// StepMixedInto is StepAllInto plus any number of prefill chunks from
+// distinct prompts carried in the same fused pass: every running session
+// advances one token and each chunk's positions prefill into that chunk's
+// own cache, with each weight matrix loaded once for all of it
+// (model.ForwardMixedInto) — the Sarathi-style packed iteration the
+// scheduler's token budget fills. Emitted tokens are bit-identical to
+// per-session stepping and each chunk's cache writes to token-at-a-time
+// prefill, regardless of packing. nexts must be index-aligned with chunks:
+// nexts[j] receives chunk j's first decode token when chunks[j].Final,
+// else -1. An empty chunk slice is exactly StepAllInto; an empty session
+// set runs the chunks alone (pure prefill iteration). Sessions not sharing
+// the pool's model fall back to per-goroutine steps with the chunks fused
+// separately.
+func StepMixedInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunks []PrefillChunk, nexts []int) {
+	StepMixedStatsInto(pool, sessions, toks, chunks, nexts, nil)
 }
 
 // StepMixedStatsInto is StepMixedInto with per-step counters accumulated
 // into stats (nil discards them), mirroring StepAllStatsInto.
-func StepMixedStatsInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunk *PrefillChunk, stats *StepStats) int {
-	if chunk == nil {
+func StepMixedStatsInto(pool *WorkspacePool, sessions []*StepSession, toks []int, chunks []PrefillChunk, nexts []int, stats *StepStats) {
+	if len(chunks) == 0 {
 		StepAllStatsInto(pool, sessions, toks, stats)
-		return -1
+		return
 	}
 	if len(toks) != len(sessions) {
 		panic("core: StepMixedInto toks length mismatch")
+	}
+	if len(nexts) != len(chunks) {
+		panic("core: StepMixedInto nexts length mismatch")
 	}
 	m := pool.m
 	for _, s := range sessions {
 		if s.m != m {
 			// Heterogeneous sessions cannot share the pooled fused pass:
-			// step them per-goroutine, then run the chunk on its own.
+			// step them per-goroutine, then run the chunks on their own.
 			stepHeterogeneous(pool, sessions, toks, stats)
 			sessions = nil
 			break
@@ -377,30 +395,40 @@ func StepMixedStatsInto(pool *WorkspacePool, sessions []*StepSession, toks []int
 	n := len(sessions)
 	sb := pool.GetBatch()
 	sb.ensure(n)
+	sb.ensureChunks(len(chunks))
 	for i, s := range sessions {
 		toks[i] = s.next
 		sb.tokens[i] = s.next
 		sb.positions[i] = s.pos
 		sb.caches[i] = s.cache
 	}
-	mc := model.Chunk{
-		Tokens:     chunk.Tokens,
-		Pos:        chunk.Cache.TotalAppended(),
-		Cache:      chunk.Cache,
-		NeedLogits: chunk.Final,
+	mcs := sb.chunks[:len(chunks)]
+	for j := range chunks {
+		ch := &chunks[j]
+		mcs[j] = model.Chunk{
+			Tokens:     ch.Tokens,
+			Pos:        ch.Cache.TotalAppended(),
+			Cache:      ch.Cache,
+			NeedLogits: ch.Final,
+		}
 	}
 	sb.bw.SetWorkers(runtime.GOMAXPROCS(0))
-	results, chunkRes := m.ForwardMixedInto(sb.bw, sb.tokens[:n], sb.positions[:n], sb.caches[:n], &mc)
+	results, chunkRes := m.ForwardMixedInto(sb.bw, sb.tokens[:n], sb.positions[:n], sb.caches[:n], mcs)
 	for i, s := range sessions {
 		s.next = tensor.Argmax(results[i].Logits)
 		s.pos++
 	}
+	for j := range chunks {
+		if chunks[j].Final {
+			nexts[j] = tensor.Argmax(chunkRes[j].Logits)
+		} else {
+			nexts[j] = -1
+		}
+		// Drop the cache reference before the batch re-enters the pool.
+		mcs[j] = model.Chunk{}
+	}
 	stats.drainBatch(sb)
 	pool.PutBatch(sb)
-	if chunk.Final {
-		return tensor.Argmax(chunkRes.Logits)
-	}
-	return -1
 }
 
 // stepHeterogeneous steps sessions whose models differ: one goroutine per

@@ -246,31 +246,32 @@ func TestStepMixedIntoMatchesStepAll(t *testing.T) {
 	// one token per iteration alongside.
 	longCache := kvcache.NewPagedKV(m.CacheShape(), 8)
 	toks := make([]int, len(sessions))
+	nexts := make([]int, 1)
 	var longSess *StepSession
 	for off := 0; off < len(longPrompt); off += 8 {
 		end := off + 8
 		if end > len(longPrompt) {
 			end = len(longPrompt)
 		}
-		chunk := &PrefillChunk{Tokens: longPrompt[off:end], Cache: longCache, Final: end == len(longPrompt)}
-		next := StepMixedInto(pool, sessions, toks, chunk)
+		chunks := []PrefillChunk{{Tokens: longPrompt[off:end], Cache: longCache, Final: end == len(longPrompt)}}
+		StepMixedInto(pool, sessions, toks, chunks, nexts)
 		for i, tok := range toks {
 			got[i] = append(got[i], tok)
 		}
-		if chunk.Final {
-			if next < 0 {
+		if chunks[0].Final {
+			if nexts[0] < 0 {
 				t.Fatal("final chunk returned no next token")
 			}
-			longSess = NewPrefilledStepSession(m, longCache, next)
-		} else if next != -1 {
-			t.Fatalf("non-final chunk returned token %d", next)
+			longSess = NewPrefilledStepSession(m, longCache, nexts[0])
+		} else if nexts[0] != -1 {
+			t.Fatalf("non-final chunk returned token %d", nexts[0])
 		}
 	}
 	// Finish all streams with plain fused stepping.
 	all := append(append([]*StepSession{}, sessions...), longSess)
 	allToks := make([]int, len(all))
 	for steps := 0; ; steps++ {
-		StepMixedInto(pool, all, allToks, nil)
+		StepMixedInto(pool, all, allToks, nil, nil)
 		for i, tok := range allToks {
 			if len(got[i]) < maxNew {
 				got[i] = append(got[i], tok)
@@ -292,6 +293,168 @@ func TestStepMixedIntoMatchesStepAll(t *testing.T) {
 				t.Fatalf("stream %d token %d: mixed %d != per-session %d", i, j, got[i][j], want[i][j])
 			}
 		}
+	}
+}
+
+// TestStepMixedPackedMatchesStepAll packs chunks from several prompts into
+// the same fused iterations as a running decode batch — the budget-packed
+// shape the scheduler's TokenBudget produces — and checks every stream
+// emits exactly the tokens per-session stepping produces, with each packed
+// prompt's first decode token coming from its own chunk's Final logits.
+func TestStepMixedPackedMatchesStepAll(t *testing.T) {
+	m := model.New(model.Tiny(), 9)
+	ws := m.NewWorkspace()
+	pool := NewWorkspacePool(m)
+
+	decodePrompts := [][]int{
+		{1, 2, 3, 4, 5},
+		{50, 60, 70},
+	}
+	longPrompts := make([][]int, 3)
+	for j := range longPrompts {
+		longPrompts[j] = make([]int, 19+7*j) // 19, 26, 33: staggered finals
+		for i := range longPrompts[j] {
+			longPrompts[j][i] = (i*23 + j*41 + 11) % m.Config().Vocab
+		}
+	}
+	const maxNew = 8
+	const chunkSize = 6
+
+	all := append(append([][]int{}, decodePrompts...), longPrompts...)
+	want := make([][]int, len(all))
+	for i, prompt := range all {
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < maxNew; step++ {
+			want[i] = append(want[i], s.Step(ws))
+		}
+	}
+
+	sessions := make([]*StepSession, len(decodePrompts))
+	got := make([][]int, len(all))
+	for i, prompt := range decodePrompts {
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	longCaches := make([]kvcache.Cache, len(longPrompts))
+	longSess := make([]*StepSession, len(longPrompts))
+	for j := range longPrompts {
+		longCaches[j] = kvcache.NewPagedKV(m.CacheShape(), 8)
+	}
+	toks := make([]int, len(sessions))
+	var chunks []PrefillChunk
+	var nexts []int
+	var idx []int
+	for off := 0; ; off += chunkSize {
+		chunks = chunks[:0]
+		idx = idx[:0]
+		for j, prompt := range longPrompts {
+			if off >= len(prompt) {
+				continue
+			}
+			end := off + chunkSize
+			if end > len(prompt) {
+				end = len(prompt)
+			}
+			chunks = append(chunks, PrefillChunk{
+				Tokens: prompt[off:end],
+				Cache:  longCaches[j],
+				Final:  end == len(prompt),
+			})
+			idx = append(idx, j)
+		}
+		if len(chunks) == 0 {
+			break
+		}
+		if cap(nexts) < len(chunks) {
+			nexts = make([]int, len(chunks))
+		}
+		StepMixedInto(pool, sessions, toks, chunks, nexts[:len(chunks)])
+		for i, tok := range toks {
+			got[i] = append(got[i], tok)
+		}
+		for c, j := range idx {
+			if chunks[c].Final {
+				if nexts[c] < 0 {
+					t.Fatalf("final chunk %d returned no next token", j)
+				}
+				longSess[j] = NewPrefilledStepSession(m, longCaches[j], nexts[c])
+			} else if nexts[c] != -1 {
+				t.Fatalf("non-final chunk %d returned token %d", j, nexts[c])
+			}
+		}
+	}
+	// Finish all streams with plain fused stepping.
+	allSess := append(append([]*StepSession{}, sessions...), longSess...)
+	allToks := make([]int, len(allSess))
+	for {
+		StepMixedInto(pool, allSess, allToks, nil, nil)
+		done := true
+		for i, tok := range allToks {
+			if len(got[i]) < maxNew {
+				got[i] = append(got[i], tok)
+			}
+			if len(got[i]) < maxNew {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("stream %d token %d: packed %d != per-session %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestStepMixedPackedAllocFree pins the budget-packed serving iteration —
+// pooled StepBatch, decode lanes plus chunks from several prompts — at
+// zero steady-state heap allocations on the serial path, the contract the
+// scheduler's packed stepOnce relies on. (AllocsPerRun pins GOMAXPROCS to
+// 1, so SetWorkers sees 1 and the pass stays serial; see
+// TestStepAllIntoAllocFree.)
+func TestStepMixedPackedAllocFree(t *testing.T) {
+	m := model.New(model.Tiny(), 3)
+	pool := NewWorkspacePool(m)
+	ws := m.NewWorkspace()
+
+	sessions := make([]*StepSession, 3)
+	for i := range sessions {
+		prompt := []int{1 + i, 2, 3, 4 + i}
+		s, err := NewStepSession(m, ws, prompt, kvcache.NewPagedKV(m.CacheShape(), 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	const K = 2
+	const C = 4
+	chunkCaches := make([]*kvcache.PagedKV, K)
+	for j := range chunkCaches {
+		chunkCaches[j] = kvcache.NewPagedKV(m.CacheShape(), 1024)
+	}
+	chunkTokens := make([]int, C)
+	toks := make([]int, len(sessions))
+	chunks := make([]PrefillChunk, K)
+	nexts := make([]int, K)
+	step := func() {
+		for j := range chunks {
+			chunks[j] = PrefillChunk{Tokens: chunkTokens, Cache: chunkCaches[j], Final: true}
+		}
+		StepMixedInto(pool, sessions, toks, chunks, nexts)
+	}
+	step() // warm the pooled StepBatch, chunk scratch and first pages
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Fatalf("packed StepMixedInto allocated %v per run", n)
 	}
 }
 

@@ -395,3 +395,99 @@ func TestConcurrentSubmitStress(t *testing.T) {
 		t.Fatalf("outcomes %d, want %d", len(p.Outcomes()), rounds*len(prompts))
 	}
 }
+
+// TestPackedMidPrefillMigrationBitIdentical is the budget-packing variant of
+// the mid-prefill migration gate: with a TokenBudget, engine 0 carries TWO
+// long prompts mid-prefill in the same budgeted passes when the short
+// request's decode page-open overflows the KV budget. The FCFS victim is the
+// newest arrival — one of several in-flight prefills — and must migrate to
+// the idle engine 1 and finish there bit-identically, while the survivor's
+// packed prefill continues untouched on engine 0.
+func TestPackedMidPrefillMigrationBitIdentical(t *testing.T) {
+	short := []int{1, 2}
+	long1 := make([]int, 28)
+	long2 := make([]int, 24)
+	for i := range long1 {
+		long1[i] = (i*3 + 5) % 512
+	}
+	for i := range long2 {
+		long2[i] = (i*7 + 11) % 512
+	}
+	prompts := [][]int{short, long1, long2}
+	maxNews := []int{6, 4, 4}
+
+	pipe, err := core.NewPipeline("fp16", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		toks, _, err := pipe.Run(prompt, maxNews[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = toks
+	}
+
+	// Budget arithmetic (PageTokens=4, KVPages=16): admission reserves
+	// short 1 + long1 7+1 + long2 6+1 = 16 pages — the whole budget. The
+	// generous TokenBudget packs both long prompts' chunks into each pass
+	// alongside short's decode; short's page-open at position 4 then evicts
+	// the newest arrival (long2) mid-prefill. Its lifetime need,
+	// PagesFor(24+4)+1 = 8, fits the idle engine 1, so the hook migrates it.
+	// The step gate holds engine 0 before its first pass until all three
+	// requests are queued, making the whole trace deterministic.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	p := newPool(t, Config{
+		Engines: 2,
+		Router:  pinRouter{to: 0},
+		Migrate: true,
+		Engine: sched.Config{
+			MaxBatch: 3, PageTokens: 4, KVPages: 16, PrefillChunk: 4, TokenBudget: 32,
+			StepHook: func(step int) {
+				if step == 1 {
+					once.Do(func() { close(entered) })
+					<-gate
+				}
+			},
+		},
+	})
+	chans := make([]<-chan sched.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := p.Submit(context.Background(), sched.Request{ID: i, Prompt: prompt, MaxNew: maxNews[i], Arrival: -1})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+		if i == 0 {
+			<-entered
+		}
+	}
+	close(gate)
+	got := make([][]int, len(prompts))
+	for i, ch := range chans {
+		got[i] = collect(t, ch)
+	}
+	drain(t, p)
+	assertBitIdentical(t, got, want, "packed mid-prefill migrated")
+
+	st := p.Stats()
+	if st.Migrations == 0 {
+		t.Fatal("budget never forced a migration; test is vacuous")
+	}
+	if st.Engines[0].PrefillPreempted == 0 {
+		t.Fatal("no eviction landed mid-prefill; test is vacuous")
+	}
+	if st.Engines[0].PackedChunks == 0 {
+		t.Fatal("the two long prompts never shared a budgeted pass; test is vacuous")
+	}
+	outs := p.Outcomes()
+	if outs[2].GPU != 1 {
+		t.Fatalf("victim finished on engine %d, want the migration target 1", outs[2].GPU)
+	}
+	if outs[2].Preemptions == 0 {
+		t.Fatal("victim's outcome records no migration hop")
+	}
+}

@@ -46,12 +46,14 @@ type BatchWorkspace struct {
 	ckTok, cvTok     [][]float32   // per-token views (projection dst)
 	ckHeads, cvHeads [][][]float32 // per-token per-head views (generic Append fallback)
 	chunkCap         int
-	// chunkPath is the chunk cache's resolved fast-path set for the
-	// current step. Living in the (heap) workspace rather than a local
-	// keeps the mixed step allocation-free — a local would escape through
-	// the attention-sharding closure — and is cleared like paths so a
-	// pooled workspace never pins a retired cache.
-	chunkPath cachePath
+	// chunkPaths holds each packed chunk's resolved fast-path set for the
+	// current step, and chunkResults the per-chunk StepResult slots the
+	// mixed step returns. Living in the (heap) workspace rather than in
+	// locals keeps the mixed step allocation-free — a local path would
+	// escape through the attention-sharding closure — and the paths are
+	// cleared like paths so a pooled workspace never pins a retired cache.
+	chunkPaths   []cachePath
+	chunkResults []StepResult
 
 	// Assembled gather views for mixed steps (decode lanes followed by
 	// chunk positions, or the LM-head row subset). Backing arrays are
@@ -93,6 +95,14 @@ func (bw *BatchWorkspace) EnsureLanes(n int) {
 
 // Lanes reports the allocated lane capacity.
 func (bw *BatchWorkspace) Lanes() int { return len(bw.lanes) }
+
+// ensureChunkSlots grows the per-chunk path/result slots to at least k.
+func (bw *BatchWorkspace) ensureChunkSlots(k int) {
+	for len(bw.chunkPaths) < k {
+		bw.chunkPaths = append(bw.chunkPaths, cachePath{})
+		bw.chunkResults = append(bw.chunkResults, StepResult{})
+	}
+}
 
 // SetWorkers sets the shard width for optional intra-step parallelism:
 // with w > 1, large GEMMs are row-sharded and attention lane-sharded

@@ -9,17 +9,21 @@ import (
 
 // This file is the chunk-granular prefill plane: a prompt advances C
 // positions per fused pass instead of one ForwardInto per token, and the
-// same pass can carry a running decode batch, so a scheduler can interleave
-// a long prompt's prefill with live decode streams without stalling them
-// for the whole prompt (Sarathi/Orca-style chunked prefill).
+// same pass can carry a running decode batch plus chunks from *several*
+// prompts at once, so a scheduler can pack a per-iteration token budget
+// with prefill work from every admitted prompt without stalling the decode
+// streams (Sarathi/Orca-style stall-free chunked prefill).
 //
 // Layer-synchronous chunking is exact, not approximate: within a layer,
 // position p's attention reads the K/V of positions 0..p at that layer,
 // which a chunk pass has just computed from the same layer-(l-1) residuals
-// a token-at-a-time pass would have used. Combined with the per-lane
+// a token-at-a-time pass would have used. Chunks from distinct prompts
+// write distinct caches, so packing them into one pass changes nothing
+// about what any position attends over. Combined with the per-lane
 // bit-identical batched GEMMs (see gemm.go) and the shared attention
 // arithmetic (attendOver), a chunked prefill is bit-identical to
-// PrefillInto for any chunk size — pinned by prefill_test.go.
+// PrefillInto for any chunk size and any packing — pinned by
+// prefill_test.go.
 
 // Chunk describes one contiguous span of prompt positions advanced through
 // the fused plane in a single pass. The cache must already hold exactly Pos
@@ -31,7 +35,8 @@ type Chunk struct {
 	Tokens []int
 	// Pos is the absolute position of Tokens[0].
 	Pos int
-	// Cache receives the span's K/V; distinct from every decode lane's.
+	// Cache receives the span's K/V; distinct from every decode lane's and
+	// from every other chunk's in the same pass.
 	Cache kvcache.Cache
 	// NeedLogits requests the last position's logits — set on the prompt's
 	// final chunk, where they decide the first decoded token. Intermediate
@@ -41,21 +46,25 @@ type Chunk struct {
 	NeedLogits bool
 }
 
-// ForwardMixedInto is ForwardBatchInto plus at most one prefill chunk in
-// the same fused pass: decode stream b forwards tokens[b] at positions[b]
-// against caches[b] exactly as in ForwardBatchInto, and chunk (when
-// non-nil) advances len(chunk.Tokens) positions of one prompt, all sharing
-// a single weight-stationary pass per layer — each projection matrix is
-// loaded once for B decode lanes plus C chunk positions. Attention stays
-// per-stream: decode lanes attend over their own caches, chunk positions
-// causally over their shared cache.
+// ForwardMixedInto is ForwardBatchInto plus any number of prefill chunks
+// from distinct prompts in the same fused pass: decode stream b forwards
+// tokens[b] at positions[b] against caches[b] exactly as in
+// ForwardBatchInto, and chunk j advances len(chunks[j].Tokens) positions of
+// its own prompt, all sharing a single weight-stationary pass per layer —
+// each projection matrix is loaded once for B decode lanes plus ΣC chunk
+// positions. Attention stays per-stream: decode lanes attend over their own
+// caches, each chunk's positions causally over that chunk's own cache, so
+// chunks must carry pairwise-distinct caches.
 //
-// Per decode lane the outputs are bit-identical to ForwardInto; the chunk's
-// cache writes (and final logits, when requested) are bit-identical to
-// token-at-a-time PrefillInto over the same span. Results alias bw and are
-// valid until the next call; steady-state mixed stepping performs zero heap
-// allocations (Workers == 1) beyond cache page growth.
-func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, caches []kvcache.Cache, chunk *Chunk) ([]StepResult, StepResult) {
+// Per decode lane the outputs are bit-identical to ForwardInto; each
+// chunk's cache writes (and final logits, when requested) are bit-identical
+// to token-at-a-time PrefillInto over the same span, regardless of what
+// else shares the pass. The second return value holds one StepResult per
+// chunk, index-aligned (zero unless that chunk's NeedLogits is set).
+// Results alias bw and are valid until the next call; steady-state mixed
+// stepping performs zero heap allocations (Workers == 1) beyond cache page
+// growth.
+func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, caches []kvcache.Cache, chunks []Chunk) ([]StepResult, []StepResult) {
 	B := len(tokens)
 	if len(positions) != B || len(caches) != B {
 		panic("model: batch length mismatch")
@@ -64,23 +73,33 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 		panic("model: batch workspace belongs to a different model")
 	}
 	want := m.CacheShape()
+	K := len(chunks)
 	C := 0
-	if chunk != nil {
-		C = len(chunk.Tokens)
-		if C == 0 {
+	for j := 0; j < K; j++ {
+		ch := &chunks[j]
+		if len(ch.Tokens) == 0 {
 			panic("model: empty prefill chunk")
 		}
-		if got := chunk.Cache.Shape(); got != want {
+		if got := ch.Cache.Shape(); got != want {
 			panic(fmt.Sprintf("model: chunk cache shape %+v does not match model %+v", got, want))
 		}
-		if held := chunk.Cache.TotalAppended(); held != chunk.Pos {
-			panic(fmt.Sprintf("model: chunk cache holds %d tokens, chunk starts at %d", held, chunk.Pos))
+		if held := ch.Cache.TotalAppended(); held != ch.Pos {
+			panic(fmt.Sprintf("model: chunk cache holds %d tokens, chunk starts at %d", held, ch.Pos))
 		}
-		bw.chunkPath = pathOf(chunk.Cache)
+		for i := 0; i < j; i++ {
+			if chunks[i].Cache == ch.Cache {
+				panic("model: packed chunks share a cache")
+			}
+		}
+		C += len(ch.Tokens)
+	}
+	bw.ensureChunkSlots(K)
+	for j := 0; j < K; j++ {
+		bw.chunkPaths[j] = pathOf(chunks[j].Cache)
 	}
 	n := B + C
 	if n == 0 {
-		return nil, StepResult{}
+		return nil, nil
 	}
 	bw.EnsureLanes(n)
 	bw.ensureChunk(C)
@@ -97,14 +116,18 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 		copy(ws.h, m.embed.Row(tok))
 		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, positions[b])
 	}
-	for i := 0; i < C; i++ {
-		tok := chunk.Tokens[i]
-		if tok < 0 || tok >= m.cfg.Vocab {
-			panic(fmt.Sprintf("model: token %d out of range", tok))
+	row := B
+	for j := 0; j < K; j++ {
+		ch := &chunks[j]
+		for i, tok := range ch.Tokens {
+			if tok < 0 || tok >= m.cfg.Vocab {
+				panic(fmt.Sprintf("model: token %d out of range", tok))
+			}
+			ws := bw.lanes[row]
+			copy(ws.h, m.embed.Row(tok))
+			tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, ch.Pos+i)
+			row++
 		}
-		ws := bw.lanes[B+i]
-		copy(ws.h, m.embed.Row(tok))
-		tensor.RoPESincosInto(ws.ropeSin, ws.ropeCos, m.ropeFreqs, chunk.Pos+i)
 	}
 
 	hs, xs, qs := bw.hs[:n], bw.xs[:n], bw.qs[:n]
@@ -113,7 +136,8 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 
 	// K/V projection destinations: decode lanes keep their per-lane
 	// buffers; chunk positions write straight into the contiguous staging
-	// span, so the whole chunk appends without a gather copy.
+	// span — chunk j owns staging tokens [off_j, off_j+C_j) — so every
+	// chunk appends without a gather copy.
 	ks, vs := bw.ks[:n], bw.vs[:n]
 	if C > 0 {
 		ks = append(bw.mixKs[:0], bw.ks[:B]...)
@@ -130,8 +154,11 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 		bw.project(ks, xs, lw.wk, lw.wkT)
 		bw.project(vs, xs, lw.wv, lw.wvT)
 		bw.attend(l, B)
-		if C > 0 {
-			m.attendChunk(bw, &bw.chunkPath, l, B, C, chunk.Pos)
+		off := 0
+		for j := 0; j < K; j++ {
+			cj := len(chunks[j].Tokens)
+			m.attendChunk(bw, &bw.chunkPaths[j], l, B+off, off, cj, chunks[j].Pos)
+			off += cj
 		}
 		bw.project(projs, attnOuts, lw.wo, lw.woT)
 		for b := 0; b < n; b++ {
@@ -151,16 +178,29 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 
 	// Final norm is lane-local and cheap, so it runs for every row; the LM
 	// head (Vocab × Hidden per row) runs only for the rows whose logits
-	// anyone reads: the decode lanes, plus the chunk's last position when
-	// the caller asked for it.
+	// anyone reads: the decode lanes, plus each chunk's last position when
+	// its caller asked for it.
 	finals := bw.finals[:n]
 	tensor.RMSNormRowsInto(finals, hs, m.norm, 1e-5)
+	needAny := false
+	for j := 0; j < K; j++ {
+		if chunks[j].NeedLogits {
+			needAny = true
+			break
+		}
+	}
 	lmF, lmL := bw.finals[:B], bw.logits[:B]
-	if chunk != nil && chunk.NeedLogits {
+	if needAny {
 		lmF = append(bw.lmFinals[:0], bw.finals[:B]...)
 		lmL = append(bw.lmLogits[:0], bw.logits[:B]...)
-		lmF = append(lmF, bw.finals[n-1])
-		lmL = append(lmL, bw.logits[n-1])
+		end := B
+		for j := 0; j < K; j++ {
+			end += len(chunks[j].Tokens)
+			if chunks[j].NeedLogits {
+				lmF = append(lmF, bw.finals[end-1])
+				lmL = append(lmL, bw.logits[end-1])
+			}
+		}
 		bw.lmFinals, bw.lmLogits = lmF, lmL
 	}
 	bw.lmHead(lmL, lmF)
@@ -171,12 +211,17 @@ func (m *Model) ForwardMixedInto(bw *BatchWorkspace, tokens, positions []int, ca
 		// must not pin retired streams' KV memory.
 		bw.paths[b] = cachePath{}
 	}
-	var chunkRes StepResult
-	if chunk != nil && chunk.NeedLogits {
-		chunkRes = StepResult{Logits: bw.logits[n-1], Hidden: bw.finals[n-1]}
+	end := B
+	for j := 0; j < K; j++ {
+		end += len(chunks[j].Tokens)
+		if chunks[j].NeedLogits {
+			bw.chunkResults[j] = StepResult{Logits: bw.logits[end-1], Hidden: bw.finals[end-1]}
+		} else {
+			bw.chunkResults[j] = StepResult{}
+		}
+		bw.chunkPaths[j] = cachePath{}
 	}
-	bw.chunkPath = cachePath{}
-	return bw.results[:B], chunkRes
+	return bw.results[:B], bw.chunkResults[:K]
 }
 
 // PrefillChunkInto prefills prompt into cache through the fused plane,
@@ -194,19 +239,22 @@ func (m *Model) PrefillChunkInto(bw *BatchWorkspace, prompt []int, chunkSize int
 		chunkSize = len(prompt)
 	}
 	base := cache.TotalAppended()
+	var chs [1]Chunk
 	var res StepResult
 	for off := 0; off < len(prompt); off += chunkSize {
 		end := off + chunkSize
 		if end > len(prompt) {
 			end = len(prompt)
 		}
-		ch := Chunk{
+		chs[0] = Chunk{
 			Tokens:     prompt[off:end],
 			Pos:        base + off,
 			Cache:      cache,
 			NeedLogits: end == len(prompt),
 		}
-		_, res = m.ForwardMixedInto(bw, nil, nil, nil, &ch)
+		_, cres := m.ForwardMixedInto(bw, nil, nil, nil, chs[:])
+		res = cres[0]
+		chs[0] = Chunk{}
 	}
 	return res
 }
@@ -239,35 +287,36 @@ func (bw *BatchWorkspace) ensureChunk(c int) {
 	bw.chunkCap = c
 }
 
-// attendChunk runs one layer's attention for the prefill chunk occupying
-// lanes [base, base+C): RoPE the chunk's keys in place inside the staging
-// span, land all C tokens' K/V in the cache — one AppendFlatN when the
-// cache supports it, else per-token appends of the same bytes — then
-// accumulate each position's causally bounded attention: position Pos+i
-// attends over the first Pos+i+1 entries, exactly the set a token-at-a-time
-// prefill would have seen. Positions are independent once the K/V are
-// cached, so attention lane-shards across workers like decode.
-func (m *Model) attendChunk(bw *BatchWorkspace, cp *cachePath, l, base, C, pos int) {
+// attendChunk runs one layer's attention for a prefill chunk occupying
+// lanes [base, base+C) and staging tokens [tokOff, tokOff+C): RoPE the
+// chunk's keys in place inside its staging span, land all C tokens' K/V in
+// the cache — one AppendFlatN when the cache supports it, else per-token
+// appends of the same bytes — then accumulate each position's causally
+// bounded attention: position Pos+i attends over the first Pos+i+1 entries
+// of this chunk's own cache, exactly the set a token-at-a-time prefill
+// would have seen. Positions are independent once the K/V are cached, so
+// attention lane-shards across workers like decode.
+func (m *Model) attendChunk(bw *BatchWorkspace, cp *cachePath, l, base, tokOff, C, pos int) {
 	cfg := m.cfg
 	hd := cfg.HeadDim
 	stride := cfg.KVDim()
 	for i := 0; i < C; i++ {
 		ws := bw.lanes[base+i]
-		off := i * stride
+		off := (tokOff + i) * stride
 		for kh := 0; kh < cfg.KVHeads; kh++ {
 			tensor.ApplyRoPECached(bw.ck[off+kh*hd:off+(kh+1)*hd], ws.ropeSin, ws.ropeCos)
 		}
 	}
 	switch {
 	case cp.batch != nil:
-		cp.batch.AppendFlatN(l, C, bw.ck[:C*stride], bw.cv[:C*stride])
+		cp.batch.AppendFlatN(l, C, bw.ck[tokOff*stride:(tokOff+C)*stride], bw.cv[tokOff*stride:(tokOff+C)*stride])
 	case cp.appender != nil:
 		for i := 0; i < C; i++ {
-			cp.appender.AppendFlat(l, bw.ckTok[i], bw.cvTok[i])
+			cp.appender.AppendFlat(l, bw.ckTok[tokOff+i], bw.cvTok[tokOff+i])
 		}
 	default:
 		for i := 0; i < C; i++ {
-			cp.cache.Append(l, bw.ckHeads[i], bw.cvHeads[i])
+			cp.cache.Append(l, bw.ckHeads[tokOff+i], bw.cvHeads[tokOff+i])
 		}
 	}
 	shards := bw.workers

@@ -204,14 +204,14 @@ func TestForwardMixedIntoBitIdentical(t *testing.T) {
 				Cache:      mixChunkCache,
 				NeedLogits: end == len(prompt),
 			}
-			results, chunkRes := m.ForwardMixedInto(bw, tokens, positions, mixCaches, &ch)
+			results, chunkRes := m.ForwardMixedInto(bw, tokens, positions, mixCaches, []Chunk{ch})
 			for b := 0; b < B; b++ {
 				equalStep(t, kind.name+" mixed decode lane", results[b], wantStep[b])
 				tokens[b] = tensor.Argmax(results[b].Logits)
 				positions[b]++
 			}
 			if ch.NeedLogits {
-				gotChunk = chunkRes
+				gotChunk = chunkRes[0]
 			}
 		}
 		equalStep(t, kind.name+" mixed chunk final", gotChunk, wantChunk)
@@ -253,7 +253,7 @@ func TestForwardMixedIntoWorkers(t *testing.T) {
 	pc, pt, pp, pChunk := mk()
 	for off := 0; off < len(prompt); off += 8 {
 		ch := Chunk{Tokens: prompt[off : off+8], Pos: off, Cache: sChunk, NeedLogits: off+8 == len(prompt)}
-		wantRes, wantChunk := m.ForwardMixedInto(serial, st, sp, sc, &ch)
+		wantRes, wantChunkRes := m.ForwardMixedInto(serial, st, sp, sc, []Chunk{ch})
 		want := make([]StepResult, B)
 		for b := range wantRes {
 			want[b] = StepResult{
@@ -261,12 +261,12 @@ func TestForwardMixedIntoWorkers(t *testing.T) {
 				Hidden: append([]float32(nil), wantRes[b].Hidden...),
 			}
 		}
-		wantChunk = StepResult{
-			Logits: append([]float32(nil), wantChunk.Logits...),
-			Hidden: append([]float32(nil), wantChunk.Hidden...),
+		wantChunk := StepResult{
+			Logits: append([]float32(nil), wantChunkRes[0].Logits...),
+			Hidden: append([]float32(nil), wantChunkRes[0].Hidden...),
 		}
 		ch.Cache = pChunk
-		gotRes, gotChunk := m.ForwardMixedInto(parallel, pt, pp, pc, &ch)
+		gotRes, gotChunk := m.ForwardMixedInto(parallel, pt, pp, pc, []Chunk{ch})
 		for b := 0; b < B; b++ {
 			equalStep(t, "workers decode lane", gotRes[b], want[b])
 			st[b] = tensor.Argmax(want[b].Logits)
@@ -275,7 +275,7 @@ func TestForwardMixedIntoWorkers(t *testing.T) {
 			pp[b]++
 		}
 		if ch.NeedLogits {
-			equalStep(t, "workers chunk final", gotChunk, wantChunk)
+			equalStep(t, "workers chunk final", gotChunk[0], wantChunk)
 		}
 	}
 	equalCaches(t, "workers chunk cache", pChunk, sChunk)
@@ -303,9 +303,10 @@ func TestForwardMixedIntoAllocFree(t *testing.T) {
 	chunkCache := kvcache.NewPagedKV(m.CacheShape(), 4096)
 	chunkTokens := make([]int, C)
 	pos := 0
+	chs := make([]Chunk, 1)
 	step := func() {
-		ch := Chunk{Tokens: chunkTokens, Pos: pos, Cache: chunkCache, NeedLogits: true}
-		m.ForwardMixedInto(bw, tokens, positions, caches, &ch)
+		chs[0] = Chunk{Tokens: chunkTokens, Pos: pos, Cache: chunkCache, NeedLogits: true}
+		m.ForwardMixedInto(bw, tokens, positions, caches, chs)
 		pos += C
 		for b := 0; b < B; b++ {
 			positions[b]++
@@ -317,6 +318,50 @@ func TestForwardMixedIntoAllocFree(t *testing.T) {
 	}
 }
 
+// TestForwardMixedPackedAllocFree pins the budget-packed mixed pass — B
+// decode lanes plus chunks from K distinct prompts in one fused iteration —
+// at zero steady-state heap allocations (serial workers): the shared chunk
+// staging span, the per-chunk path/result slots, and the LM-head gather are
+// all reused across passes.
+func TestForwardMixedPackedAllocFree(t *testing.T) {
+	const B = 4
+	const K = 3
+	const C = 5 // tokens per packed chunk
+	m := New(Tiny(), 7)
+	ws := m.NewWorkspace()
+	bw := m.NewBatchWorkspace(B + K*C)
+	caches := make([]kvcache.Cache, B)
+	tokens := make([]int, B)
+	positions := make([]int, B)
+	for b := 0; b < B; b++ {
+		caches[b] = kvcache.NewPagedKV(m.CacheShape(), 4096)
+		prompt := prefillLane(m, ws, caches[b], b)
+		positions[b] = len(prompt)
+		tokens[b] = b % m.Config().Vocab
+	}
+	chunkCaches := make([]*kvcache.PagedKV, K)
+	for j := range chunkCaches {
+		chunkCaches[j] = kvcache.NewPagedKV(m.CacheShape(), 4096)
+	}
+	chunkTokens := make([]int, C)
+	pos := 0
+	chs := make([]Chunk, K)
+	step := func() {
+		for j := range chs {
+			chs[j] = Chunk{Tokens: chunkTokens, Pos: pos, Cache: chunkCaches[j], NeedLogits: true}
+		}
+		m.ForwardMixedInto(bw, tokens, positions, caches, chs)
+		pos += C
+		for b := 0; b < B; b++ {
+			positions[b]++
+		}
+	}
+	step() // warm: lanes, packed staging, per-chunk slots, first pages
+	if n := testing.AllocsPerRun(30, step); n != 0 {
+		t.Fatalf("packed mixed step allocated %v per run", n)
+	}
+}
+
 // TestForwardMixedIntoValidation covers the chunk-side contract panics.
 func TestForwardMixedIntoValidation(t *testing.T) {
 	m := New(Tiny(), 1)
@@ -324,19 +369,134 @@ func TestForwardMixedIntoValidation(t *testing.T) {
 	cache := kvcache.NewFull(m.CacheShape())
 
 	assertPanics(t, "empty chunk", func() {
-		m.ForwardMixedInto(bw, nil, nil, nil, &Chunk{Cache: cache})
+		m.ForwardMixedInto(bw, nil, nil, nil, []Chunk{{Cache: cache}})
 	})
 	assertPanics(t, "position mismatch", func() {
-		m.ForwardMixedInto(bw, nil, nil, nil, &Chunk{Tokens: []int{1}, Pos: 3, Cache: cache})
+		m.ForwardMixedInto(bw, nil, nil, nil, []Chunk{{Tokens: []int{1}, Pos: 3, Cache: cache}})
 	})
 	assertPanics(t, "chunk cache shape", func() {
 		bad := kvcache.NewFull(kvcache.Shape{Layers: 1, KVHeads: 1, HeadDim: 2})
-		m.ForwardMixedInto(bw, nil, nil, nil, &Chunk{Tokens: []int{1}, Cache: bad})
+		m.ForwardMixedInto(bw, nil, nil, nil, []Chunk{{Tokens: []int{1}, Cache: bad}})
 	})
 	assertPanics(t, "chunk token range", func() {
-		m.ForwardMixedInto(bw, nil, nil, nil, &Chunk{Tokens: []int{-1}, Cache: cache})
+		m.ForwardMixedInto(bw, nil, nil, nil, []Chunk{{Tokens: []int{-1}, Cache: cache}})
+	})
+	assertPanics(t, "shared chunk cache", func() {
+		m.ForwardMixedInto(bw, nil, nil, nil, []Chunk{
+			{Tokens: []int{1}, Cache: cache},
+			{Tokens: []int{2}, Pos: 1, Cache: cache},
+		})
 	})
 	assertPanics(t, "empty prompt", func() {
 		m.PrefillChunkInto(bw, nil, 4, cache)
 	})
+}
+
+// TestForwardMixedPackedBitIdentical pins the packed mixed pass: chunks
+// from K distinct prompts advance through one fused iteration alongside a
+// decode batch, and every stream — each packed prompt's cache and final
+// logits, each decode lane — must be bit-identical to its own unpacked
+// sequential reference. Prompts have different lengths so later iterations
+// carry fewer chunks (the budget-draining shape the scheduler produces).
+func TestForwardMixedPackedBitIdentical(t *testing.T) {
+	const B = 2
+	const chunkSize = 4
+	prompts := [][]int{
+		make([]int, 11),
+		make([]int, 17),
+		make([]int, 6),
+	}
+	for j := range prompts {
+		for i := range prompts[j] {
+			prompts[j][i] = (i*29 + j*13 + 7) % Tiny().Vocab
+		}
+	}
+	for _, kind := range batchCacheKinds {
+		m := New(Tiny(), 17)
+		ws := m.NewWorkspace()
+		bw := m.NewBatchWorkspace(B)
+
+		seqCaches := make([]kvcache.Cache, B)
+		mixCaches := make([]kvcache.Cache, B)
+		tokens := make([]int, B)
+		positions := make([]int, B)
+		for b := 0; b < B; b++ {
+			seqCaches[b] = kind.mk(m)
+			mixCaches[b] = kind.mk(m)
+			p := prefillLane(m, ws, seqCaches[b], b)
+			prefillLane(m, ws, mixCaches[b], b)
+			positions[b] = len(p)
+			tokens[b] = (b*19 + 2) % m.Config().Vocab
+		}
+		refCaches := make([]kvcache.Cache, len(prompts))
+		wantFinal := make([]StepResult, len(prompts))
+		for j, prompt := range prompts {
+			refCaches[j] = kind.mk(m)
+			sr := m.PrefillInto(ws, prompt, refCaches[j])
+			wantFinal[j] = StepResult{
+				Logits: append([]float32(nil), sr.Logits...),
+				Hidden: append([]float32(nil), sr.Hidden...),
+			}
+		}
+
+		packCaches := make([]kvcache.Cache, len(prompts))
+		for j := range packCaches {
+			packCaches[j] = kind.mk(m)
+		}
+		gotFinal := make([]StepResult, len(prompts))
+		var chs []Chunk
+		for off := 0; ; off += chunkSize {
+			chs = chs[:0]
+			idx := make([]int, 0, len(prompts))
+			for j, prompt := range prompts {
+				if off >= len(prompt) {
+					continue
+				}
+				end := off + chunkSize
+				if end > len(prompt) {
+					end = len(prompt)
+				}
+				chs = append(chs, Chunk{
+					Tokens:     prompt[off:end],
+					Pos:        off,
+					Cache:      packCaches[j],
+					NeedLogits: end == len(prompt),
+				})
+				idx = append(idx, j)
+			}
+			if len(chs) == 0 {
+				break
+			}
+			// Reference decode step for every lane.
+			wantStep := make([]StepResult, B)
+			for b := 0; b < B; b++ {
+				sr := m.ForwardInto(ws, tokens[b], positions[b], seqCaches[b])
+				wantStep[b] = StepResult{
+					Logits: append([]float32(nil), sr.Logits...),
+					Hidden: append([]float32(nil), sr.Hidden...),
+				}
+			}
+			results, chunkRes := m.ForwardMixedInto(bw, tokens, positions, mixCaches, chs)
+			for b := 0; b < B; b++ {
+				equalStep(t, kind.name+" packed decode lane", results[b], wantStep[b])
+				tokens[b] = tensor.Argmax(results[b].Logits)
+				positions[b]++
+			}
+			for c, j := range idx {
+				if chs[c].NeedLogits {
+					gotFinal[j] = StepResult{
+						Logits: append([]float32(nil), chunkRes[c].Logits...),
+						Hidden: append([]float32(nil), chunkRes[c].Hidden...),
+					}
+				}
+			}
+		}
+		for j := range prompts {
+			equalStep(t, kind.name+" packed chunk final", gotFinal[j], wantFinal[j])
+			equalCaches(t, kind.name+" packed chunk cache", packCaches[j], refCaches[j])
+		}
+		for b := 0; b < B; b++ {
+			equalCaches(t, kind.name+" packed decode cache", mixCaches[b], seqCaches[b])
+		}
+	}
 }

@@ -10,14 +10,21 @@
 // tokens as they are produced, and are preempted — cache dropped, request
 // requeued for recompute — when the page budget runs out. Prompts prefill
 // chunk by chunk inside the iteration loop (Sarathi/Orca-style chunked
-// prefill): each iteration fuses the running decode batch with at most one
-// PrefillChunk-token span of the oldest admitted prompt into a single
-// weight-stationary pass, so a long arriving prompt delays running streams
-// by one chunk's step time instead of a whole prompt's. Greedy decode is
+// prefill): each iteration fuses the running decode batch with prefill
+// chunks into a single weight-stationary pass, so a long arriving prompt
+// delays running streams by one chunk's step time instead of a whole
+// prompt's. By default one iteration carries at most one
+// PrefillChunk-token span of the oldest admitted prompt; with a
+// Config.TokenBudget the iteration instead packs chunks from *every*
+// admitted mid-prefill prompt, oldest first, until decode lanes plus chunk
+// tokens fill the budget (Sarathi-style stall-free batching) — k
+// simultaneously arriving prompts then prefill concurrently instead of
+// round-robin, collapsing their aggregate TTFT. Greedy decode is
 // deterministic, the paged cache exact, and chunked prefill bit-identical
-// to token-at-a-time, so a preempted or chunk-prefilled request's final
-// token stream is bit-identical to an uninterrupted sequential run; the
-// scheduling only costs time, which the metrics expose.
+// to token-at-a-time regardless of packing, so a preempted, chunk-prefilled
+// or budget-packed request's final token stream is bit-identical to an
+// uninterrupted sequential run; the scheduling only costs time, which the
+// metrics expose.
 //
 // Both planes speak one metrics vocabulary: the engine emits the same
 // serving.Outcome records (TTFT, TBOT, E2E) the simulator does, in
@@ -107,6 +114,20 @@ type Config struct {
 	// running streams see while a long prompt arrives; larger chunks
 	// finish the prompt's TTFT sooner. 0 means the default (32).
 	PrefillChunk int
+	// TokenBudget, when positive, is the per-iteration token budget for
+	// Sarathi-style stall-free batching: one fused pass carries the decode
+	// lanes plus prefill chunks packed greedily from *all* admitted
+	// mid-prefill prompts (oldest first, each capped by its remaining
+	// dense span and by PrefillChunk) until decode lanes + Σ chunk tokens
+	// reach the budget. k prompts arriving together then prefill
+	// concurrently through shared weight passes instead of sequentially,
+	// so their aggregate TTFT stops degrading linearly in k, while decode
+	// streams still never wait more than one budgeted pass. A budget
+	// smaller than the decode lane count still packs one (possibly
+	// truncated) chunk, so prefill always progresses. 0 (default) keeps
+	// the single-chunk behaviour: one chunk of at most PrefillChunk
+	// tokens from the oldest admitted prompt per iteration.
+	TokenBudget int
 	// Policy is PolicyFCFS (default) or PolicySJF.
 	Policy string
 	// GPU is the id stamped on outcomes (multi-engine replay sets it).
@@ -190,6 +211,9 @@ func (c *Config) normalize() error {
 	if c.PrefillChunk < 0 {
 		return fmt.Errorf("sched: negative prefill chunk %d", c.PrefillChunk)
 	}
+	if c.TokenBudget < 0 {
+		return fmt.Errorf("sched: negative token budget %d", c.TokenBudget)
+	}
 	if c.Policy == "" {
 		c.Policy = PolicyFCFS
 	}
@@ -257,15 +281,24 @@ type Stats struct {
 	Cancelled   int // requests retired early by their context
 	PeakRunning int // max concurrent decode streams
 	PeakPages   int // max pages in use under the budget
-	// PrefillChunks counts prompt chunks advanced through the fused plane;
-	// MixedSteps counts the iterations that carried both decode lanes and
-	// a prefill chunk in one weight pass — the interleaving the chunked
-	// prefill design exists for. PrefillPreempted counts the preemption
-	// victims caught mid-prefill (their prompt recomputes from scratch on
-	// re-admission).
+	// PrefillChunks counts prompt chunks advanced through the fused plane,
+	// one per chunk — a budget-packed iteration carrying chunks from k
+	// prompts counts k. MixedSteps counts the iterations that carried at
+	// least one decode lane and at least one prefill chunk in one weight
+	// pass — the interleaving the chunked prefill design exists for.
+	// PrefillPreempted counts the preemption victims caught mid-prefill
+	// (their prompt recomputes from scratch on re-admission).
 	PrefillChunks    int
 	MixedSteps       int
 	PrefillPreempted int
+	// PackedChunks counts the prefill chunks that shared their fused pass
+	// with at least one other prompt's chunk — the multi-prompt packing a
+	// TokenBudget enables; always 0 in single-chunk mode. BudgetTokens
+	// totals the tokens every scheduling iteration carried (decode lanes +
+	// prefill chunk tokens), the utilisation numerator for the
+	// per-iteration budget.
+	PackedChunks int
+	BudgetTokens int
 	// PrefixHits counts admissions served from the shared-prefix cache;
 	// PrefixTokensSaved totals the prefill tokens those hits skipped.
 	PrefixHits        int
@@ -413,13 +446,16 @@ type Engine struct {
 	// loopSteps counts scheduling iterations for Config.StepHook — loop-
 	// private so the hook fires without taking mu.
 	loopSteps int
-	// stepSessions/stepReqs/stepToks/chunk are reused across decode
+	// stepSessions/stepReqs/stepToks and the chunk-packing scratch
+	// (chunks/chunkReqs/chunkNexts, index-aligned) are reused across
 	// iterations so batch formation and the fused mixed step allocate
 	// nothing in steady state.
 	stepSessions []*core.StepSession
 	stepReqs     []*reqState
 	stepToks     []int
-	chunk        core.PrefillChunk
+	chunks       []core.PrefillChunk
+	chunkReqs    []*reqState
+	chunkNexts   []int
 
 	mu       sync.Mutex
 	queue    []*reqState
@@ -903,9 +939,17 @@ func (e *Engine) admitLocked() {
 		if rs.req.Deadline > 0 && now > rs.req.Deadline {
 			// Shed: the TTFT deadline passed before prefill could start, so
 			// pages spent on this request would produce only SLO-blown
-			// tokens. Terminate the stream with the typed error token.
-			rs.ch <- Token{Err: fmt.Errorf("%w: queued %.0fms past arrival (deadline %.0fms)",
-				ErrDeadlineExceeded, 1e3*(now-rs.req.Arrival), 1e3*(rs.req.Deadline-rs.req.Arrival))}
+			// tokens. Terminate the stream with the typed error token. The
+			// guarded send matches failStreamLocked: the buffer is sized
+			// MaxNew+1 and a queued request has emitted at most MaxNew-1
+			// tokens, so room is guaranteed — but a terminal send must never
+			// be able to stall the engine loop under mu, so it does not rely
+			// on that arithmetic.
+			select {
+			case rs.ch <- Token{Err: fmt.Errorf("%w: queued %.0fms past arrival (deadline %.0fms)",
+				ErrDeadlineExceeded, 1e3*(now-rs.req.Arrival), 1e3*(rs.req.Deadline-rs.req.Arrival))}:
+			default:
+			}
 			e.retireLocked(rs, dispShed)
 			continue
 		}
@@ -1128,12 +1172,15 @@ func (e *Engine) reapCancelled() {
 }
 
 // stepOnce runs one scheduling iteration: every prefill-complete session
-// decodes one token, the oldest mid-prefill request advances one prompt
-// chunk in the same fused weight pass (core.StepMixedInto), and finishers
-// retire. A request whose final chunk lands this iteration becomes a decode
-// session for the next one — exactly the token stream an admission-time
-// full prefill would have produced, without ever stalling the running
-// batch for more than one chunk's step time.
+// decodes one token, mid-prefill requests advance prompt chunks in the
+// same fused weight pass (core.StepMixedInto), and finishers retire. In
+// single-chunk mode (TokenBudget 0) only the oldest mid-prefill request
+// contributes a chunk; with a TokenBudget the iteration packs chunks from
+// every mid-prefill request, oldest first, until decode lanes + chunk
+// tokens fill the budget. A request whose final chunk lands this iteration
+// becomes a decode session for the next one — exactly the token stream an
+// admission-time full prefill would have produced, without ever stalling
+// the running batch for more than one budgeted pass's step time.
 func (e *Engine) stepOnce() {
 	e.loopSteps++
 	if e.cfg.StepHook != nil {
@@ -1143,19 +1190,17 @@ func (e *Engine) stepOnce() {
 		e.cfg.StepHook(e.loopSteps)
 	}
 	stepStart := time.Now()
-	// Partition the running set: decode lanes step, and the first
-	// mid-prefill request in admission order contributes this iteration's
-	// chunk. Account pages the decode appends will open (reserved
-	// first-step pages were charged at admission); preemptForStep already
-	// made room. Prefill appends land in pages reserved at admission.
+	// Partition the running set: decode lanes step, mid-prefill requests
+	// are packed below. Account pages the decode appends will open
+	// (reserved first-step pages were charged at admission);
+	// preemptForStep already made room. Prefill appends land in pages
+	// reserved at admission, so packing more chunks opens no pages.
 	e.stepSessions = e.stepSessions[:0]
 	e.stepReqs = e.stepReqs[:0]
-	var pf *reqState
+	e.chunks = e.chunks[:0]
+	e.chunkReqs = e.chunkReqs[:0]
 	for _, rs := range e.running {
 		if rs.sess == nil {
-			if pf == nil {
-				pf = rs
-			}
 			continue
 		}
 		e.stepReqs = append(e.stepReqs, rs)
@@ -1175,66 +1220,107 @@ func (e *Engine) stepOnce() {
 			rs.pages++
 		}
 	}
-	if e.usedPages > e.stats.PeakPages {
-		e.mu.Lock()
-		e.stats.PeakPages = e.usedPages
-		e.mu.Unlock()
-	}
+	// Snapshot the page peak here (it only grows in this loop) and fold it
+	// into the post-step critical section below: one lock round-trip per
+	// iteration instead of a mid-loop lock just for PeakPages.
+	peakPages := e.usedPages
 
-	var chunk *core.PrefillChunk
-	if pf != nil {
+	// Pack this iteration's prefill chunks, oldest admission first. With a
+	// TokenBudget the pass carries chunks from every mid-prefill request
+	// until decode lanes + chunk tokens reach the budget (the oldest
+	// prompt always progresses by at least one token, even when decode
+	// lanes alone exceed the budget); without one it carries at most one
+	// chunk from the oldest, the pre-budget behaviour, exactly.
+	budget := e.cfg.TokenBudget
+	remaining := 0
+	if budget > 0 {
+		remaining = budget - len(e.stepSessions)
+		if remaining < 1 {
+			remaining = 1
+		}
+	}
+	for _, rs := range e.running {
+		if rs.sess != nil {
+			continue
+		}
 		// Dense prefill stops short of the replay tail: those tokens
 		// re-advance through decode steps once the session forms.
-		end := len(pf.prompt) - pf.replay
-		if pf.prefilled == end {
+		end := len(rs.prompt) - rs.replay
+		if rs.prefilled == end {
 			// A prefix hit covered the whole dense span (possible only
 			// with a replay tail): no chunk to run — the session starts
 			// directly on the tail, whose first token is already known.
-			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, pf.prompt[end])
-			pf = nil
-		} else {
-			n := end - pf.prefilled
-			if n > e.cfg.PrefillChunk {
-				n = e.cfg.PrefillChunk
+			rs.sess = core.NewPrefilledStepSession(e.m, rs.cache, rs.prompt[end])
+			if budget == 0 {
+				break // single-chunk mode examines only the oldest
 			}
-			e.chunk.Tokens = pf.prompt[pf.prefilled : pf.prefilled+n]
-			e.chunk.Cache = pf.cache
+			continue
+		}
+		n := end - rs.prefilled
+		if n > e.cfg.PrefillChunk {
+			n = e.cfg.PrefillChunk
+		}
+		if budget > 0 && n > remaining {
+			n = remaining
+		}
+		e.chunks = append(e.chunks, core.PrefillChunk{
+			Tokens: rs.prompt[rs.prefilled : rs.prefilled+n],
+			Cache:  rs.cache,
 			// The final chunk's logits decide the next token — unless a
 			// replay tail follows, in which case the next token is a known
 			// prompt token and the chunk's logits pass is skipped.
-			e.chunk.Final = pf.prefilled+n == end && pf.replay == 0
-			chunk = &e.chunk
+			Final: rs.prefilled+n == end && rs.replay == 0,
+		})
+		e.chunkReqs = append(e.chunkReqs, rs)
+		if budget == 0 {
+			break
+		}
+		remaining -= n
+		if remaining <= 0 {
+			break
 		}
 	}
 	if cap(e.stepToks) < len(e.stepSessions) {
 		e.stepToks = make([]int, len(e.stepSessions))
 	}
 	toks := e.stepToks[:len(e.stepSessions)]
+	if cap(e.chunkNexts) < len(e.chunks) {
+		e.chunkNexts = make([]int, len(e.chunks))
+	}
+	nexts := e.chunkNexts[:len(e.chunks)]
 	var stepStats core.StepStats
-	next := core.StepMixedStatsInto(e.pool, e.stepSessions, toks, chunk, &stepStats)
-	if pf != nil {
-		pf.prefilled += len(e.chunk.Tokens)
-		if e.chunk.Final {
-			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, next)
-		} else if pf.prefilled == len(pf.prompt)-pf.replay {
+	core.StepMixedStatsInto(e.pool, e.stepSessions, toks, e.chunks, nexts, &stepStats)
+	chunkToks := 0
+	for i, rs := range e.chunkReqs {
+		ch := &e.chunks[i]
+		chunkToks += len(ch.Tokens)
+		rs.prefilled += len(ch.Tokens)
+		if ch.Final {
+			rs.sess = core.NewPrefilledStepSession(e.m, rs.cache, nexts[i])
+		} else if rs.prefilled == len(rs.prompt)-rs.replay {
 			// Dense span complete, replay tail ahead: seed the session
 			// with the tail's (known) first token.
-			pf.sess = core.NewPrefilledStepSession(e.m, pf.cache, pf.prompt[pf.prefilled])
+			rs.sess = core.NewPrefilledStepSession(e.m, rs.cache, rs.prompt[rs.prefilled])
 		}
-		e.chunk = core.PrefillChunk{} // drop the cache reference
+		e.chunks[i] = core.PrefillChunk{} // drop the cache reference
 	}
 	now := e.now()
 
 	e.mu.Lock()
 	e.stats.Steps++
+	if peakPages > e.stats.PeakPages {
+		e.stats.PeakPages = peakPages
+	}
 	e.stats.SparsePagesSelected += stepStats.SparsePagesSelected
 	e.stats.SparsePagesTotal += stepStats.SparsePagesTotal
-	if pf != nil {
-		e.stats.PrefillChunks++
-		if len(e.stepReqs) > 0 {
-			e.stats.MixedSteps++
-		}
+	e.stats.PrefillChunks += len(e.chunkReqs)
+	if len(e.chunkReqs) > 1 {
+		e.stats.PackedChunks += len(e.chunkReqs)
 	}
+	if len(e.chunkReqs) > 0 && len(e.stepReqs) > 0 {
+		e.stats.MixedSteps++
+	}
+	e.stats.BudgetTokens += len(e.stepReqs) + chunkToks
 	retired := false
 	for i, rs := range e.stepReqs {
 		if rs.replay > 0 {
@@ -1250,6 +1336,16 @@ func (e *Engine) stepOnce() {
 		if rs.firstTok < 0 {
 			rs.firstTok = now
 		}
+		// Data-token send, deliberately unguarded: the buffer is sized
+		// MaxNew+1 at Submit and a request retires at MaxNew generated
+		// tokens, so at most MaxNew data tokens ever land here and room is
+		// structurally guaranteed even when the caller abandoned the
+		// stream. Dropping a data token (as a guarded send would under a
+		// sizing bug) silently corrupts the stream; blocking here would
+		// instead deadlock loudly, which is the failure mode we want for
+		// an invariant break. Terminal error sends — which have no such
+		// per-stream budget argument — are all guarded selects
+		// (failStreamLocked, the deadline-shed path in admitLocked).
 		rs.ch <- Token{ID: toks[i], Pos: len(rs.req.Prompt) + len(rs.generated) - 1}
 		if len(rs.generated) >= rs.req.MaxNew {
 			e.usedPages -= rs.pages
@@ -1282,13 +1378,17 @@ func (e *Engine) stepOnce() {
 	}
 	e.syncViewLocked()
 	e.mu.Unlock()
-	// Drop session references so a retired request's KV cache is not
-	// pinned by the reused scratch until the next iteration.
+	// Drop session and request references so a retired request's KV cache
+	// is not pinned by the reused scratch until the next iteration (the
+	// chunk entries were zeroed above, right after the fused pass).
 	for i := range e.stepSessions {
 		e.stepSessions[i] = nil
 	}
 	for i := range e.stepReqs {
 		e.stepReqs[i] = nil
+	}
+	for i := range e.chunkReqs {
+		e.chunkReqs[i] = nil
 	}
 }
 

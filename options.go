@@ -31,6 +31,7 @@ type config struct {
 	kvPages      int
 	pageTokens   int
 	prefillChunk int
+	tokenBudget  int
 	schedPol     string
 	kvQuant      string
 	sparseTopK   int
@@ -131,6 +132,21 @@ func WithPageTokens(n int) Option { return func(c *config) { c.pageTokens = n } 
 // running streams' inter-token gap tighter; larger chunks reach the long
 // prompt's first token sooner. Default: 32.
 func WithPrefillChunk(n int) Option { return func(c *config) { c.prefillChunk = n } }
+
+// WithTokenBudget enables Sarathi-style stall-free batching with a shared
+// per-iteration token budget of n: each scheduling iteration packs prefill
+// chunks from every admitted mid-prefill prompt (oldest first, each capped
+// by WithPrefillChunk and its remaining prompt) into the same fused weight
+// pass as the running decode batch, until decode lanes + chunk tokens
+// reach n. k long prompts arriving together then prefill concurrently
+// through shared weight-stationary passes instead of one-at-a-time, so
+// their aggregate time-to-first-token stops degrading linearly in k, while
+// running decode streams still never wait more than one budgeted pass.
+// Output stays bit-identical per request for every budget. A useful budget
+// is roughly maxBatch + k·prefillChunk for the burst width k it should
+// absorb. Default: 0 — single-chunk mode, one chunk of at most
+// WithPrefillChunk tokens per iteration (the pre-budget behaviour).
+func WithTokenBudget(n int) Option { return func(c *config) { c.tokenBudget = n } }
 
 // WithSchedPolicy selects the server's admission/preemption policy by name
 // (see SchedPolicies()): SchedFCFS or SchedSJF. Default: SchedFCFS.

@@ -83,12 +83,21 @@ type ServerStats struct {
 	// PeakKVPages is the most KV pages simultaneously in use.
 	PeakKVPages int
 	// PrefillChunks counts prompt chunks advanced through the fused plane
-	// (see WithPrefillChunk); MixedSteps counts iterations that carried
-	// decode lanes and a prefill chunk in one fused weight pass;
-	// PrefillPreempted counts preemption victims caught mid-prefill.
+	// (see WithPrefillChunk), one per chunk — a budget-packed iteration
+	// carrying chunks from k prompts counts k; MixedSteps counts
+	// iterations that carried at least one decode lane and at least one
+	// prefill chunk in one fused weight pass; PrefillPreempted counts
+	// preemption victims caught mid-prefill.
 	PrefillChunks    int
 	MixedSteps       int
 	PrefillPreempted int
+	// PackedChunks counts prefill chunks that shared their fused pass with
+	// at least one other prompt's chunk — the stall-free packing
+	// WithTokenBudget enables; always 0 in single-chunk mode. BudgetTokens
+	// totals the tokens every scheduling iteration carried (decode lanes +
+	// prefill chunk tokens), the utilisation numerator for the budget.
+	PackedChunks int
+	BudgetTokens int
 	// PrefixHits counts admissions served from the WithSharedPrefix
 	// cache; PrefixTokensSaved totals the prefill tokens they skipped.
 	PrefixHits        int
@@ -122,6 +131,8 @@ func serverStatsFrom(st sched.Stats) ServerStats {
 		PrefillChunks:       st.PrefillChunks,
 		MixedSteps:          st.MixedSteps,
 		PrefillPreempted:    st.PrefillPreempted,
+		PackedChunks:        st.PackedChunks,
+		BudgetTokens:        st.BudgetTokens,
 		PrefixHits:          st.PrefixHits,
 		PrefixTokensSaved:   st.PrefixTokensSaved,
 		MigratedOut:         st.MigratedOut,
@@ -163,6 +174,8 @@ func NewServer(opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("%w: negative KV page budget %d", ErrInvalidOption, cfg.kvPages)
 	case cfg.prefillChunk <= 0:
 		return nil, fmt.Errorf("%w: prefill chunk must be positive, got %d", ErrInvalidOption, cfg.prefillChunk)
+	case cfg.tokenBudget < 0:
+		return nil, fmt.Errorf("%w: negative token budget %d", ErrInvalidOption, cfg.tokenBudget)
 	case cfg.sparseTopK < 0:
 		return nil, fmt.Errorf("%w: negative sparse attention topK %d", ErrInvalidOption, cfg.sparseTopK)
 	case cfg.maxQueue < 0:
@@ -190,6 +203,7 @@ func NewServer(opts ...Option) (*Server, error) {
 		KVPages:          cfg.kvPages,
 		MaxNew:           cfg.maxNew,
 		PrefillChunk:     cfg.prefillChunk,
+		TokenBudget:      cfg.tokenBudget,
 		Policy:           cfg.schedPol,
 		KVQuantBits:      quantBits,
 		SharedPrefix:     cfg.sharedPrefix,

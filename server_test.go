@@ -317,3 +317,86 @@ func TestServeTraceRealEngine(t *testing.T) {
 		t.Fatalf("TokensPerSec = %v", tps)
 	}
 }
+
+// TestServerTokenBudgetBitIdentical pins the facade's stall-free packing: k
+// long prompts arriving together under WithTokenBudget stream exactly what
+// Pipeline.Generate produces, and the server must report that chunks from
+// distinct prompts actually shared budgeted passes.
+func TestServerTokenBudgetBitIdentical(t *testing.T) {
+	const maxNew = 8
+	prompts := make([][]int, 4)
+	for i := range prompts {
+		p := make([]int, 40+9*i)
+		for j := range p {
+			p[j] = (j*13 + i*29 + 3) % 512
+		}
+		prompts[i] = p
+	}
+
+	p, err := rethinkkv.New(rethinkkv.WithSeed(9), rethinkkv.WithMaxNewTokens(maxNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(prompts))
+	for i, prompt := range prompts {
+		stream, err := p.Generate(context.Background(), prompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tok := range stream {
+			want[i] = append(want[i], tok.ID)
+		}
+	}
+
+	srv, err := rethinkkv.NewServer(
+		rethinkkv.WithSeed(9),
+		rethinkkv.WithMaxNewTokens(maxNew),
+		rethinkkv.WithMaxBatch(4),
+		rethinkkv.WithPageTokens(8),
+		rethinkkv.WithPrefillChunk(16),
+		rethinkkv.WithTokenBudget(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	chans := make([]<-chan rethinkkv.Token, len(prompts))
+	for i, prompt := range prompts {
+		ch, err := srv.Submit(context.Background(), rethinkkv.ServeRequest{Prompt: prompt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		var got []int
+		for tok := range ch {
+			got = append(got, tok.ID)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(got), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[j] != want[i][j] {
+				t.Fatalf("request %d token %d: %d != pipeline %d", i, j, got[j], want[i][j])
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.PackedChunks == 0 {
+		t.Fatal("four simultaneous long prompts under a generous budget packed no chunks")
+	}
+	if st.BudgetTokens == 0 {
+		t.Fatal("BudgetTokens stayed 0 across a served trace")
+	}
+
+	if _, err := rethinkkv.NewServer(rethinkkv.WithTokenBudget(-1)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewServer(WithTokenBudget(-1)): %v, want ErrInvalidOption", err)
+	}
+	if _, err := rethinkkv.NewFleet(2, rethinkkv.WithTokenBudget(-1)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewFleet(WithTokenBudget(-1)): %v, want ErrInvalidOption", err)
+	}
+	if _, err := rethinkkv.NewCluster([]string{"fp16"}, rethinkkv.WithTokenBudget(-1)); !errors.Is(err, rethinkkv.ErrInvalidOption) {
+		t.Fatalf("NewCluster(WithTokenBudget(-1)): %v, want ErrInvalidOption", err)
+	}
+}
